@@ -1,0 +1,624 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablations for the design choices called out in DESIGN.md. Each
+// BenchmarkFigN / BenchmarkTableN measures recomputing that artifact from a
+// shared correlated dataset (generated once per process at scale 0.01).
+package iotscope_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"iotscope/internal/analysis"
+	"iotscope/internal/campaign"
+	"iotscope/internal/core"
+	"iotscope/internal/correlate"
+	"iotscope/internal/devicedb"
+	"iotscope/internal/fingerprint"
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/netx"
+	"iotscope/internal/report"
+	"iotscope/internal/rng"
+	"iotscope/internal/sketch"
+	"iotscope/internal/stats"
+	"iotscope/internal/threatintel"
+	"iotscope/internal/wgen"
+)
+
+const (
+	benchScale = 0.01
+	benchSeed  = 1
+)
+
+var (
+	benchOnce sync.Once
+	benchErr  error
+	benchDir  string
+	benchDS   *core.Dataset
+	benchRes  *core.Results
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+// benchFixture generates and analyzes the shared dataset once.
+func benchFixture(b *testing.B) (*core.Dataset, *core.Results) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "iotscope-bench-*")
+		if benchErr != nil {
+			return
+		}
+		cfg := core.DefaultConfig(benchScale, benchSeed)
+		benchDS, benchErr = core.Generate(cfg, benchDir)
+		if benchErr != nil {
+			return
+		}
+		benchRes, benchErr = benchDS.Analyze(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS, benchRes
+}
+
+// renderBench measures one artifact renderer.
+func renderBench(b *testing.B, fn func(io.Writer) error) {
+	b.Helper()
+	_, _ = benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// --- Section III: inference (Figs. 1-3, Tables I-III).
+
+func BenchmarkFig1a(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig1a(w, res.Analyzer) })
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig1b(w, res.Analyzer) })
+}
+
+func BenchmarkFig2(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig2(w, res.Analyzer) })
+}
+
+func BenchmarkFig3(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig3(w, res.Analyzer) })
+}
+
+func BenchmarkTable1(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table1(w, res.Analyzer) })
+}
+
+func BenchmarkTable2(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table2(w, res.Analyzer) })
+}
+
+func BenchmarkTable3(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table3(w, res.Analyzer) })
+}
+
+// --- Section IV: characterization (Figs. 4-10, Tables IV-V).
+
+func BenchmarkFig4(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig4(w, res.Analyzer) })
+}
+
+func BenchmarkFig5(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig5(w, res.Analyzer) })
+}
+
+func BenchmarkTable4(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table4(w, res.Analyzer) })
+}
+
+func BenchmarkFig6(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig6(w, res.Analyzer) })
+}
+
+func BenchmarkFig7(b *testing.B) {
+	ds, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig7(w, res, ds) })
+}
+
+func BenchmarkFig8(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig8(w, res.Analyzer) })
+}
+
+func BenchmarkFig9(b *testing.B) {
+	ds, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig9(w, res, ds) })
+}
+
+func BenchmarkTable5(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table5(w, res.Analyzer) })
+}
+
+func BenchmarkFig10(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig10(w, res.Analyzer) })
+}
+
+// --- Section V: investigation (Fig. 11, Tables VI-VII).
+
+func BenchmarkFig11(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Fig11(w, res) })
+}
+
+func BenchmarkTable6(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table6(w, res) })
+}
+
+func BenchmarkTable7(b *testing.B) {
+	_, res := benchFixture(b)
+	renderBench(b, func(w io.Writer) error { return report.Table7(w, res) })
+}
+
+// BenchmarkStatTests measures the Sec. IV statistical battery.
+func BenchmarkStatTests(b *testing.B) {
+	_, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Analyzer.RunStatTests(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- End-to-end phases.
+
+// BenchmarkPipelineCorrelate measures the full streaming correlation over
+// the 143 hourly files.
+func BenchmarkPipelineCorrelate(b *testing.B) {
+	ds, _ := benchFixture(b)
+	c := correlate.New(ds.Inventory, correlate.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ProcessDataset(ds.Dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineFullReport measures rendering the entire reproduction.
+func BenchmarkPipelineFullReport(b *testing.B) {
+	ds, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := report.WriteAll(&buf, res, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md Sec. 5).
+
+// BenchmarkAblationCorrelateStreaming compares the hour-streaming correlator
+// (constant memory) against batch-loading every record before processing.
+func BenchmarkAblationCorrelateStreaming(b *testing.B) {
+	ds, _ := benchFixture(b)
+	b.Run("streaming", func(b *testing.B) {
+		c := correlate.New(ds.Inventory, correlate.Options{Workers: 1})
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ProcessDataset(ds.Dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-load", func(b *testing.B) {
+		hours, err := flowtuple.DatasetHours(ds.Dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			// Load everything first (the non-streaming design), then scan.
+			var all []flowtuple.Record
+			for _, h := range hours {
+				err := flowtuple.WalkHour(ds.Dir, h, func(rec flowtuple.Record) error {
+					all = append(all, rec)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var iot uint64
+			for _, rec := range all {
+				if _, ok := ds.Inventory.LookupIP(netx.Addr(rec.SrcIP)); ok {
+					iot += uint64(rec.Packets)
+				}
+			}
+			if iot == 0 {
+				b.Fatal("no packets")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLPM compares the radix-trie registry lookup against a
+// linear prefix scan.
+func BenchmarkAblationLPM(b *testing.B) {
+	ds, _ := benchFixture(b)
+	reg := ds.Registry
+	type entry struct {
+		p netx.Prefix
+		c string
+	}
+	var entries []entry
+	for i := range reg.ISPs {
+		for _, p := range reg.Prefixes(i) {
+			entries = append(entries, entry{p, reg.ISPs[i].Country})
+		}
+	}
+	r := rng.New(1)
+	addrs := make([]netx.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = reg.RandomAddr(r, r.Intn(len(reg.ISPs)))
+	}
+	b.Run("trie", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if _, ok := reg.Lookup(addrs[i&4095]); ok {
+				hits++
+			}
+		}
+		if hits == 0 {
+			b.Fatal("no hits")
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			a := addrs[i&4095]
+			for _, e := range entries {
+				if e.p.Contains(a) {
+					hits++
+					break
+				}
+			}
+		}
+		if hits == 0 {
+			b.Fatal("no hits")
+		}
+	})
+}
+
+// BenchmarkAblationCodec compares the fixed binary flowtuple codec against
+// JSON encoding.
+func BenchmarkAblationCodec(b *testing.B) {
+	rec := flowtuple.Record{
+		SrcIP: 0x01020304, DstIP: 0x2c010203, SrcPort: 40000, DstPort: 23,
+		Protocol: flowtuple.ProtoTCP, TCPFlags: flowtuple.FlagSYN,
+		TTL: 64, IPLen: 40, Packets: 3,
+	}
+	b.Run("binary", func(b *testing.B) {
+		buf := make([]byte, 0, flowtuple.RecordSize)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = flowtuple.AppendRecord(buf[:0], rec)
+			back, err := flowtuple.DecodeRecord(buf)
+			if err != nil || back != rec {
+				b.Fatal("round trip failed")
+			}
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := json.Marshal(rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var back flowtuple.Record
+			if err := json.Unmarshal(data, &back); err != nil || back != rec {
+				b.Fatal("round trip failed")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTopK compares the bounded min-heap port ranking against
+// sorting the full port table.
+func BenchmarkAblationTopK(b *testing.B) {
+	ds, res := benchFixture(b)
+	_ = ds
+	ports := res.Correlate.TCPScanPorts
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tk := stats.NewTopK(14)
+			for port, agg := range ports {
+				tk.Offer(portKey(port), float64(agg.Packets))
+			}
+			if len(tk.Items()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			type row struct {
+				key  string
+				pkts uint64
+			}
+			rows := make([]row, 0, len(ports))
+			for port, agg := range ports {
+				rows = append(rows, row{portKey(port), agg.Packets})
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i].pkts > rows[j].pkts })
+			if len(rows) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+func portKey(p uint16) string {
+	var buf [5]byte
+	n := 0
+	if p == 0 {
+		return "0"
+	}
+	for v := p; v > 0; v /= 10 {
+		buf[n] = byte('0' + v%10)
+		n++
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return string(buf[:n])
+}
+
+// BenchmarkAblationSketch compares exact unique-destination counting
+// against HyperLogLog during correlation.
+func BenchmarkAblationSketch(b *testing.B) {
+	ds, _ := benchFixture(b)
+	b.Run("exact-sets", func(b *testing.B) {
+		c := correlate.New(ds.Inventory, correlate.Options{Workers: 1})
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ProcessDataset(ds.Dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hyperloglog", func(b *testing.B) {
+		c := correlate.New(ds.Inventory, correlate.Options{Workers: 1, UseSketches: true})
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ProcessDataset(ds.Dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hll-standalone", func(b *testing.B) {
+		h, err := sketch.NewHLL(14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			h.AddAddr(uint32(i))
+		}
+	})
+}
+
+// BenchmarkGenerateHour measures dataset synthesis itself (per hour).
+func BenchmarkGenerateHour(b *testing.B) {
+	sc := wgen.Default(benchScale, benchSeed)
+	g, err := wgen.New(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.EmitHour(i%sc.Hours, func(flowtuple.Record) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalysisSummary measures the headline aggregation.
+func BenchmarkAnalysisSummary(b *testing.B) {
+	_, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := res.Analyzer.Summary()
+		if s.Total == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+// BenchmarkDiscoveryTimeline measures Fig. 2's aggregation path separate
+// from rendering.
+func BenchmarkDiscoveryTimeline(b *testing.B) {
+	_, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tl := res.Analyzer.DiscoveryTimeline(); len(tl) == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+}
+
+// BenchmarkCDFs measures the Fig. 6 CDF computation.
+func BenchmarkCDFs(b *testing.B) {
+	_, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := analysis.CDF(res.Analyzer.ScannerTotals())
+		if h.Total() == 0 {
+			b.Fatal("empty CDF")
+		}
+	}
+}
+
+// BenchmarkInvestigate measures the Sec. V-A threat correlation.
+func BenchmarkInvestigate(b *testing.B) {
+	ds, res := benchFixture(b)
+	cfg := threatintel.InvestigateConfig{TopPerCategory: 40}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv := threatintel.Investigate(cfg, res.Correlate, ds.Inventory, ds.Threat)
+		if inv.Explored == 0 {
+			b.Fatal("empty investigation")
+		}
+	}
+}
+
+// BenchmarkMalwareCorrelate measures the Sec. V-B correlation.
+func BenchmarkMalwareCorrelate(b *testing.B) {
+	ds, res := benchFixture(b)
+	ips := make(map[int]netx.Addr, len(res.Correlate.Devices))
+	for id := range res.Correlate.Devices {
+		ips[id] = ds.Inventory.At(id).IP
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corr := ds.Malware.Correlate(ips, ds.Catalog)
+		if len(corr.Hashes) == 0 {
+			b.Fatal("empty correlation")
+		}
+	}
+}
+
+// BenchmarkDeviceLookup measures the per-tuple hot path: inventory join.
+func BenchmarkDeviceLookup(b *testing.B) {
+	ds, _ := benchFixture(b)
+	r := rng.New(3)
+	addrs := make([]netx.Addr, 4096)
+	for i := range addrs {
+		if r.Bool(0.5) {
+			addrs[i] = ds.Inventory.At(r.Intn(ds.Inventory.Len())).IP
+		} else {
+			addrs[i] = netx.Addr(r.Uint32())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds.Inventory.LookupIP(addrs[i&4095])
+	}
+}
+
+var _ = devicedb.Consumer // exercised indirectly through core types
+
+// --- Extension features (the paper's Discussion / future work).
+
+// BenchmarkCampaignDetect measures botnet-campaign clustering over the
+// correlated dataset.
+func BenchmarkCampaignDetect(b *testing.B) {
+	_, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		campaigns, err := campaign.Detect(res.Correlate, campaign.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(campaigns) == 0 {
+			b.Fatal("no campaigns")
+		}
+	}
+}
+
+// BenchmarkFingerprintPipeline measures profile extraction plus one-class
+// model training over the shared dataset.
+func BenchmarkFingerprintPipeline(b *testing.B) {
+	ds, res := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := fingerprint.NewExtractor(20)
+		if err := ex.ProcessDataset(ds.Dir); err != nil {
+			b.Fatal(err)
+		}
+		profiles := ex.Profiles()
+		var train []*fingerprint.Profile
+		for id := range res.Correlate.Devices {
+			if p, ok := profiles[ds.Inventory.At(id).IP]; ok {
+				train = append(train, p)
+			}
+		}
+		if _, err := fingerprint.Train(train, fingerprint.TrainConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalIngest measures the near-real-time per-hour path.
+func BenchmarkIncrementalIngest(b *testing.B) {
+	ds, _ := benchFixture(b)
+	c := correlate.New(ds.Inventory, correlate.Options{})
+	hours, err := flowtuple.DatasetHours(ds.Dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(hours) == 0 {
+			b.StopTimer()
+			var err error
+			benchInc, err = c.NewIncremental(len(hours))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		if _, err := benchInc.Ingest(ds.Dir, hours[i%len(hours)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchInc *correlate.Incremental
+
+// BenchmarkGenerateScale sweeps dataset synthesis throughput across scales
+// (records generated per rendered hour grow linearly with scale).
+func BenchmarkGenerateScale(b *testing.B) {
+	for _, scale := range []float64{0.002, 0.005, 0.01} {
+		b.Run(fmt.Sprintf("scale-%v", scale), func(b *testing.B) {
+			sc := wgen.Default(scale, 1)
+			g, err := wgen.New(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.EmitHour(i%sc.Hours, func(flowtuple.Record) {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunGeneratesDataset(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-scale", "0.002", "-seed", "3", "-hours", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"scenario.json", "inventory.jsonl", "threat-events.jsonl",
+		"malware-reports.xml", "malware-catalog.jsonl", "truth.json",
+		"hour-000.ft.gz", "hour-003.ft.gz",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}

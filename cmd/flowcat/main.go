@@ -1,0 +1,105 @@
+// Command flowcat inspects flowtuple files: print records, summarize an
+// hour, or summarize a whole dataset.
+//
+// Usage:
+//
+//	flowcat -file hour-000.ft.gz [-n 20]     # head of one file
+//	flowcat -data DIR [-hour 5]              # per-hour or dataset summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iotscope/internal/classify"
+	"iotscope/internal/flowtuple"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flowcat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flowcat", flag.ContinueOnError)
+	var (
+		file = fs.String("file", "", "one flowtuple file to dump")
+		n    = fs.Int("n", 20, "records to print with -file (0 = all)")
+		data = fs.String("data", "", "dataset directory to summarize")
+		hour = fs.Int("hour", -1, "restrict -data summary to one hour")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *file != "":
+		return dumpFile(*file, *n)
+	case *data != "":
+		return summarize(*data, *hour)
+	default:
+		return fmt.Errorf("need -file or -data")
+	}
+}
+
+func dumpFile(path string, n int) error {
+	rd, err := flowtuple.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	fmt.Printf("# hour %d\n", rd.Header().Hour)
+	for i := 0; n == 0 || i < n; i++ {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s  [%s]\n", rec.String(), classify.Record(rec))
+	}
+	return nil
+}
+
+func summarize(dir string, only int) error {
+	hours, err := flowtuple.DatasetHours(dir)
+	if err != nil {
+		return err
+	}
+	if len(hours) == 0 {
+		return fmt.Errorf("no hourly files in %s", dir)
+	}
+	fmt.Printf("%-5s %10s %12s %8s %8s %8s %8s %8s\n",
+		"hour", "records", "packets", "scanTCP", "scanICMP", "bscatter", "udp", "other")
+	var totRecs, totPkts uint64
+	for _, h := range hours {
+		if only >= 0 && h != only {
+			continue
+		}
+		var recs uint64
+		var pkts [classify.NumClasses]uint64
+		var total uint64
+		err := flowtuple.WalkHour(dir, h, func(rec flowtuple.Record) error {
+			recs++
+			total += uint64(rec.Packets)
+			pkts[classify.Record(rec).Index()] += uint64(rec.Packets)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5d %10d %12d %8d %8d %8d %8d %8d\n",
+			h, recs, total,
+			pkts[classify.ScanTCP.Index()], pkts[classify.ScanICMP.Index()],
+			pkts[classify.Backscatter.Index()], pkts[classify.UDP.Index()],
+			pkts[classify.Other.Index()])
+		totRecs += recs
+		totPkts += total
+	}
+	fmt.Printf("total %10d %12d\n", totRecs, totPkts)
+	return nil
+}

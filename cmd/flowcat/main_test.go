@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"iotscope/internal/core"
+)
+
+func testDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(0.002, 3)
+	cfg.Hours = 3
+	if _, err := core.Generate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run([]string{"-file", "/nonexistent.ft.gz"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-data", t.TempDir()}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	dir := testDataset(t)
+	if err := run([]string{"-file", filepath.Join(dir, "hour-000.ft.gz"), "-n", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	dir := testDataset(t)
+	if err := run([]string{"-data", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "-hour", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"iotscope/internal/core"
+)
+
+func testDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(0.002, 3)
+	cfg.Hours = 4
+	if _, err := core.Generate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if err := run([]string{"-data", t.TempDir()}); err == nil {
+		t.Fatal("empty dataset dir accepted")
+	}
+}
+
+func TestRunText(t *testing.T) {
+	dir := testDataset(t)
+	if err := run([]string{"-data", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := testDataset(t)
+	if err := run([]string{"-data", dir, "-json", "-workers", "2", "-sketch"}); err != nil {
+		t.Fatal(err)
+	}
+}

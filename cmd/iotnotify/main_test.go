@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"iotscope/internal/core"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if err := run([]string{"-data", "x", "-min-devices", "0"}); err == nil {
+		t.Fatal("min-devices 0 accepted")
+	}
+	if err := run([]string{"-data", t.TempDir()}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestRunRendersBundles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(0.002, 3)
+	cfg.Hours = 4
+	if _, err := core.Generate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

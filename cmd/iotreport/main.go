@@ -1,0 +1,75 @@
+// Command iotreport regenerates every table and figure of the paper's
+// evaluation from a dataset, or end-to-end with -generate.
+//
+// Usage:
+//
+//	iotreport -data DIR                 # analyze an existing dataset
+//	iotreport -generate -scale 0.02     # synthesize into a temp dir first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iotscope/internal/core"
+	"iotscope/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iotreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iotreport", flag.ContinueOnError)
+	var (
+		data     = fs.String("data", "", "dataset directory")
+		generate = fs.Bool("generate", false, "synthesize a dataset first")
+		scale    = fs.Float64("scale", 0.02, "scale when generating")
+		seed     = fs.Uint64("seed", 1, "seed when generating")
+		hours    = fs.Int("hours", 0, "window override when generating")
+		workers  = fs.Int("workers", 0, "concurrent hour files (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ds *core.Dataset
+	var err error
+	switch {
+	case *generate:
+		dir := *data
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "iotscope-dataset-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		cfg := core.DefaultConfig(*scale, *seed)
+		cfg.Hours = *hours
+		fmt.Fprintf(os.Stderr, "generating dataset at scale %v into %s ...\n", *scale, dir)
+		ds, err = core.Generate(cfg, dir)
+	case *data != "":
+		ds, err = core.Open(*data)
+	default:
+		return fmt.Errorf("need -data DIR or -generate")
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
+	cfg.Workers = *workers
+	fmt.Fprintf(os.Stderr, "analyzing %d hours ...\n", ds.Scenario.Hours)
+	res, err := ds.Analyze(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("iotscope paper reproduction — scale %v, seed %d, %d hours\n\n",
+		ds.Scenario.Scale, ds.Scenario.Seed, ds.Scenario.Hours)
+	return report.WriteAll(os.Stdout, res, ds)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"iotscope/internal/core"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no mode accepted")
+	}
+	if err := run([]string{"-data", t.TempDir()}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestRunOnExistingDataset(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(0.002, 3)
+	cfg.Hours = 6
+	if _, err := core.Generate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGenerate(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-generate", "-data", dir, "-scale", "0.002", "-seed", "3", "-hours", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

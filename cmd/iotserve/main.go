@@ -1,0 +1,77 @@
+// Command iotserve analyzes a dataset and serves the results over the
+// authenticated HTTP API (see internal/apiserve), realizing the paper's
+// plan to share IoT-relevant malicious empirical data, attack signatures,
+// and threat intelligence with the community.
+//
+// Usage:
+//
+//	iotserve -data DIR -token SECRET [-addr :8642]
+//
+// Endpoints (Bearer auth except /healthz):
+//
+//	GET /healthz
+//	GET /v1/summary
+//	GET /v1/devices?country=RU&category=cps&limit=100&offset=0
+//	GET /v1/devices/{id}
+//	GET /v1/threats/{ip}
+//	GET /v1/spikes?threshold=8
+//	GET /v1/ports/tcp  /v1/ports/udp?n=10
+//	GET /v1/signatures
+//	GET /v1/campaigns
+//	GET /v1/malware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"iotscope/internal/apiserve"
+	"iotscope/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iotserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iotserve", flag.ContinueOnError)
+	var (
+		data  = fs.String("data", "", "dataset directory (required)")
+		token = fs.String("token", "", "API bearer token (required)")
+		addr  = fs.String("addr", ":8642", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *token == "" {
+		return fmt.Errorf("-data and -token are required")
+	}
+	ds, err := core.Open(*data)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
+	fmt.Fprintf(os.Stderr, "analyzing %d hours ...\n", ds.Scenario.Hours)
+	res, err := ds.Analyze(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := apiserve.New(ds, res, []string{*token})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "serving %d inferred devices on %s\n",
+		res.Summary.Total, *addr)
+	return httpSrv.ListenAndServe()
+}

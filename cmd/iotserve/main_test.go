@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-data", "x"}); err == nil {
+		t.Fatal("missing token accepted")
+	}
+	if err := run([]string{"-data", t.TempDir(), "-token", "x"}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

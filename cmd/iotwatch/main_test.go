@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"iotscope/internal/core"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if err := run([]string{"-data", t.TempDir(), "-once"}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestRunOnce(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(0.002, 3)
+	cfg.Hours = 5
+	if _, err := core.Generate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "-once"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianAndDominantVictim(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median %v", got)
+	}
+}

@@ -1,0 +1,112 @@
+// DDoS forensics: reproduce the paper's Sec. IV-B investigation — isolate
+// backscatter traffic, detect the DoS episodes, and attribute each to the
+// single victim device that dominates it, down to the exposed service port
+// (the paper identified Ethernet/IP 44818 Rockwell PLCs under attack).
+//
+//	go run ./examples/ddos-forensics
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"iotscope/internal/classify"
+	"iotscope/internal/core"
+	"iotscope/internal/devicedb"
+	"iotscope/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "iotscope-ddos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Full 143-hour window: the scripted attacks land at intervals 6-8,
+	// 49, 53-56, 81, 94, 99, and 127.
+	cfg := core.DefaultConfig(0.006, 7)
+	fmt.Println("generating 143-hour dataset ...")
+	ds, err := core.Generate(cfg, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("analyzing ...")
+	res, err := ds.Analyze(cfg)
+	if err != nil {
+		return err
+	}
+	an := res.Analyzer
+
+	// Hourly backscatter per realm (Fig. 7's series).
+	cps := res.Correlate.HourlyClassSeries(classify.Backscatter, devicedb.CPS)
+	cons := res.Correlate.HourlyClassSeries(classify.Backscatter, devicedb.Consumer)
+	report.Series(os.Stdout, "CPS backscatter", cps, 72)
+	report.Series(os.Stdout, "consumer backscatter", cons, 72)
+	fmt.Println()
+
+	// Episode detection and single-victim attribution.
+	spikes := an.DetectDoSSpikes(8)
+	fmt.Printf("detected %d DoS episodes:\n", len(spikes))
+	for _, sp := range spikes {
+		d := ds.Inventory.At(sp.TopDevice)
+		svc := "-"
+		if len(d.Services) > 0 {
+			svc = d.Services[0]
+		}
+		fmt.Printf("  hours %3d-%3d: %9s backscatter pkts, %3.0f%% from device %d "+
+			"(%s %s in %s, service %s)\n",
+			sp.StartHour, sp.EndHour, report.Comma(sp.Packets), 100*sp.TopShare,
+			sp.TopDevice, d.Category, d.Type, d.Country, svc)
+	}
+	fmt.Println()
+
+	// Victim census (Fig. 8a) and intensity ranking.
+	summary := an.Backscatter()
+	fmt.Printf("victim census: %d devices (%d consumer / %d CPS); "+
+		"%s backscatter pkts, %.0f%% from CPS\n",
+		summary.Victims, summary.ConsumerVictims, summary.CPSVictims,
+		report.Comma(summary.Packets), summary.CPSPacketShare)
+	if err := report.Fig8(os.Stdout, an); err != nil {
+		return err
+	}
+
+	// Top individual victims with their exposed ports — the paper traced
+	// the big ones to Ethernet/IP (44818) PLCs.
+	type victim struct {
+		id   int
+		pkts uint64
+	}
+	var victims []victim
+	for id, dstats := range res.Correlate.Devices {
+		if bs := dstats.Packets[classify.Backscatter.Index()]; bs > 0 {
+			victims = append(victims, victim{id, bs})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].pkts > victims[j].pkts })
+	fmt.Println("top 5 victims by backscatter volume:")
+	for i, v := range victims {
+		if i == 5 {
+			break
+		}
+		d := ds.Inventory.At(v.id)
+		fmt.Printf("  device %5d  %8s pkts  %-8s %-12s %s  services=%v\n",
+			v.id, report.Comma(v.pkts), d.Country, d.Category, d.Type, d.Services)
+	}
+
+	// Cross-check against the planted DoS events.
+	fmt.Println("\nplanted event check:")
+	for name, id := range ds.Truth.EventVictims {
+		_, seen := res.Correlate.Devices[id]
+		fmt.Printf("  %-12s -> device %5d recovered=%v\n", name, id, seen)
+	}
+	return nil
+}

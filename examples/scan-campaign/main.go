@@ -1,0 +1,126 @@
+// Scan campaign characterization: reproduce the paper's Sec. IV-C deep
+// dive into scanning behaviour — the Telnet-dominated port mix (Table V),
+// the scripted SSH surges at intervals 32/69, the single BACnet device
+// sweeping BackroomNet from interval 113, and the Dominican IP camera that
+// swept 10,249 ports in one hour.
+//
+//	go run ./examples/scan-campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"iotscope/internal/analysis"
+	"iotscope/internal/core"
+	"iotscope/internal/devicedb"
+	"iotscope/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "iotscope-scan-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Full window so every scripted scanning event is in frame.
+	cfg := core.DefaultConfig(0.006, 99)
+	fmt.Println("generating 143-hour dataset ...")
+	ds, err := core.Generate(cfg, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("analyzing ...")
+	res, err := ds.Analyze(cfg)
+	if err != nil {
+		return err
+	}
+	an := res.Analyzer
+
+	// Table V: what the compromised devices scan.
+	if err := report.Table5(os.Stdout, an); err != nil {
+		return err
+	}
+
+	// Fig. 9: scanning surfaces per realm.
+	for _, cat := range []devicedb.Category{devicedb.CPS, devicedb.Consumer} {
+		s := an.ScanSurface(cat)
+		report.Series(os.Stdout, fmt.Sprintf("%s scan packets", cat), s.Packets, 72)
+		report.Series(os.Stdout, fmt.Sprintf("%s scanned ports", cat), s.DstPorts, 72)
+	}
+	fmt.Println()
+
+	// Fig. 10: the five headline services over time.
+	if err := report.Fig10(os.Stdout, an); err != nil {
+		return err
+	}
+
+	// Investigation 1: the SSH surges. Which hours stand out?
+	var ssh analysis.ScanServiceDef
+	for _, def := range analysis.DefaultScanServices() {
+		if def.Name == "SSH" {
+			ssh = def
+		}
+	}
+	series := an.ServiceHourlySeries(ssh)
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(len(series))
+	fmt.Println("SSH surge hours (>3x mean):")
+	for h, v := range series {
+		if v > 3*mean {
+			fmt.Printf("  hour %3d: %s packets (mean %s) — paper scripts surges at 32 and 69\n",
+				h, report.Comma(uint64(v)), report.Comma(uint64(mean)))
+		}
+	}
+	fmt.Println()
+
+	// Investigation 2: BackroomNet onset.
+	var backroom analysis.ScanServiceDef
+	for _, def := range analysis.DefaultScanServices() {
+		if def.Name == "BackroomNet" {
+			backroom = def
+		}
+	}
+	br := an.ServiceHourlySeries(backroom)
+	onset := -1
+	for h, v := range br {
+		if v > 0 {
+			onset = h
+			break
+		}
+	}
+	rows := an.TopScanServices(analysis.DefaultScanServices())
+	for _, r := range rows {
+		if r.Service == "BackroomNet" {
+			fmt.Printf("BackroomNet: onset at hour %d (paper: 113), %d CPS device(s), %s packets\n",
+				onset, r.CPSDevices, report.Comma(r.Packets))
+		}
+	}
+
+	// Investigation 3: the widest single-hour port sweep.
+	if f, ok := an.WidestPortSweep(); ok {
+		d := ds.Inventory.At(f.Device)
+		fmt.Printf("widest port sweep: device %d (%s, %s) swept %s ports over %s "+
+			"destinations at hour %d\n  (paper: an IP camera in the Dominican Republic, "+
+			"10,249 ports on 55 destinations at interval 119)\n",
+			f.Device, d.Type, d.Country,
+			report.CommaInt(f.Ports), report.CommaInt(f.Dests), f.Hour)
+	}
+
+	// Cross-check the devices-vs-packets decoupling the paper reports
+	// (Pearson r ~ 0): many devices scan, few generate the volume.
+	fmt.Printf("\nPearson scanners-vs-packets: r=%.3f p=%.2g (paper: r~0, p>0.05)\n",
+		res.StatTests.ScannersVsScanPackets.R, res.StatTests.ScannersVsScanPackets.P)
+	return nil
+}

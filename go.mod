@@ -1,0 +1,3 @@
+module iotscope
+
+go 1.22

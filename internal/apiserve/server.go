@@ -1,0 +1,384 @@
+// Package apiserve implements the authenticated sharing API the paper's
+// Discussion commits to ("an authenticated API to share IoT-relevant
+// malicious empirical data, IoT-centric attack signatures, and threat
+// intelligence derived from passive measurements with the research
+// community"). It exposes an analyzed dataset over HTTP/JSON behind bearer
+// tokens: inferred devices, threat events, DoS episodes, port tables,
+// derived attack signatures, campaigns, and malware indicators.
+package apiserve
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"iotscope/internal/analysis"
+	"iotscope/internal/campaign"
+	"iotscope/internal/classify"
+	"iotscope/internal/core"
+	"iotscope/internal/devicedb"
+	"iotscope/internal/netx"
+	"iotscope/internal/notify"
+)
+
+// Server serves one analyzed dataset.
+type Server struct {
+	ds     *core.Dataset
+	res    *core.Results
+	tokens map[string]bool
+	mux    *http.ServeMux
+}
+
+// New builds a server over the dataset and its analysis results. At least
+// one bearer token is required.
+func New(ds *core.Dataset, res *core.Results, tokens []string) (*Server, error) {
+	if ds == nil || res == nil {
+		return nil, fmt.Errorf("apiserve: nil dataset or results")
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("apiserve: at least one API token is required")
+	}
+	s := &Server{
+		ds:     ds,
+		res:    res,
+		tokens: make(map[string]bool, len(tokens)),
+		mux:    http.NewServeMux(),
+	}
+	for _, t := range tokens {
+		if t == "" {
+			return nil, fmt.Errorf("apiserve: empty API token")
+		}
+		s.tokens[t] = true
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/summary", s.auth(s.handleSummary))
+	s.mux.HandleFunc("GET /v1/devices", s.auth(s.handleDevices))
+	s.mux.HandleFunc("GET /v1/devices/{id}", s.auth(s.handleDevice))
+	s.mux.HandleFunc("GET /v1/threats/{ip}", s.auth(s.handleThreats))
+	s.mux.HandleFunc("GET /v1/spikes", s.auth(s.handleSpikes))
+	s.mux.HandleFunc("GET /v1/ports/tcp", s.auth(s.handleTCPPorts))
+	s.mux.HandleFunc("GET /v1/ports/udp", s.auth(s.handleUDPPorts))
+	s.mux.HandleFunc("GET /v1/signatures", s.auth(s.handleSignatures))
+	s.mux.HandleFunc("GET /v1/campaigns", s.auth(s.handleCampaigns))
+	s.mux.HandleFunc("GET /v1/malware", s.auth(s.handleMalware))
+	s.mux.HandleFunc("GET /v1/reports", s.auth(s.handleReports))
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// auth wraps a handler with bearer-token verification.
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		const prefix = "Bearer "
+		h := r.Header.Get("Authorization")
+		if len(h) <= len(prefix) || h[:len(prefix)] != prefix {
+			writeError(w, http.StatusUnauthorized, "missing bearer token")
+			return
+		}
+		token := h[len(prefix):]
+		ok := false
+		for t := range s.tokens {
+			if len(t) == len(token) &&
+				subtle.ConstantTimeCompare([]byte(t), []byte(token)) == 1 {
+				ok = true
+			}
+		}
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "invalid token")
+			return
+		}
+		next(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"hours":  s.ds.Scenario.Hours,
+		"scale":  s.ds.Scenario.Scale,
+	})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	bs := s.res.Analyzer.Backscatter()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary":     s.res.Summary,
+		"backscatter": bs,
+		"statTests":   s.res.StatTests,
+	})
+}
+
+// deviceDTO is the device wire shape.
+type deviceDTO struct {
+	ID          int      `json:"id"`
+	IP          string   `json:"ip"`
+	Category    string   `json:"category"`
+	Type        string   `json:"type"`
+	Country     string   `json:"country"`
+	ISP         string   `json:"isp"`
+	Services    []string `json:"services,omitempty"`
+	FirstSeen   int      `json:"firstSeenHour"`
+	Packets     uint64   `json:"packets"`
+	Scanning    uint64   `json:"scanningPackets"`
+	Backscatter uint64   `json:"backscatterPackets"`
+	UDP         uint64   `json:"udpPackets"`
+}
+
+func (s *Server) deviceDTO(id int) deviceDTO {
+	d := s.ds.Inventory.At(id)
+	st := s.res.Correlate.Devices[id]
+	dto := deviceDTO{
+		ID: id, IP: d.IP.String(),
+		Category: d.Category.String(), Type: d.Type.String(),
+		Country: d.Country, ISP: s.ds.Registry.ISPs[d.ISP].Name,
+		Services: d.Services,
+	}
+	if st != nil {
+		dto.FirstSeen = st.FirstSeen
+		dto.Packets = st.TotalPackets()
+		dto.Scanning = st.Packets[classify.ScanTCP.Index()] + st.Packets[classify.ScanICMP.Index()]
+		dto.Backscatter = st.Packets[classify.Backscatter.Index()]
+		dto.UDP = st.Packets[classify.UDP.Index()]
+	}
+	return dto
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	country := q.Get("country")
+	catFilter := q.Get("category")
+	if catFilter != "" {
+		if _, err := devicedb.ParseCategory(catFilter); err != nil {
+			writeError(w, http.StatusBadRequest, "unknown category")
+			return
+		}
+	}
+	limit := parseIntDefault(q.Get("limit"), 100)
+	offset := parseIntDefault(q.Get("offset"), 0)
+	if limit < 1 || limit > 1000 || offset < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be 1..1000, offset >= 0")
+		return
+	}
+
+	ids := make([]int, 0, len(s.res.Correlate.Devices))
+	for id := range s.res.Correlate.Devices {
+		d := s.ds.Inventory.At(id)
+		if country != "" && d.Country != country {
+			continue
+		}
+		if catFilter != "" && d.Category.String() != catFilter {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	total := len(ids)
+	if offset > len(ids) {
+		offset = len(ids)
+	}
+	ids = ids[offset:]
+	if len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]deviceDTO, len(ids))
+	for i, id := range ids {
+		out[i] = s.deviceDTO(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   total,
+		"offset":  offset,
+		"devices": out,
+	})
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad device id")
+		return
+	}
+	if _, ok := s.res.Correlate.Devices[id]; !ok {
+		writeError(w, http.StatusNotFound, "device not inferred")
+		return
+	}
+	dto := s.deviceDTO(id)
+	threats := s.ds.Threat.CategoriesOf(s.ds.Inventory.At(id).IP)
+	cats := make([]string, len(threats))
+	for i, c := range threats {
+		cats[i] = c.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"device":           dto,
+		"threatCategories": cats,
+	})
+}
+
+func (s *Server) handleThreats(w http.ResponseWriter, r *http.Request) {
+	ip, err := netx.ParseAddr(r.PathValue("ip"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad IP")
+		return
+	}
+	events := s.ds.Threat.Query(ip)
+	type eventDTO struct {
+		Category string `json:"category"`
+		Source   string `json:"source"`
+		Day      int    `json:"day"`
+	}
+	out := make([]eventDTO, len(events))
+	for i, ev := range events {
+		out[i] = eventDTO{Category: ev.Category.String(), Source: ev.Source, Day: ev.Day}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ip": ip.String(), "events": out})
+}
+
+func (s *Server) handleSpikes(w http.ResponseWriter, r *http.Request) {
+	threshold := 8.0
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 1 {
+			writeError(w, http.StatusBadRequest, "threshold must be > 1")
+			return
+		}
+		threshold = f
+	}
+	spikes := s.res.Analyzer.DetectDoSSpikes(threshold)
+	type spikeDTO struct {
+		StartHour int     `json:"startHour"`
+		EndHour   int     `json:"endHour"`
+		Packets   uint64  `json:"packets"`
+		Victim    int     `json:"victimDevice"`
+		Share     float64 `json:"victimShare"`
+		Country   string  `json:"country"`
+		Category  string  `json:"category"`
+	}
+	out := make([]spikeDTO, len(spikes))
+	for i, sp := range spikes {
+		d := s.ds.Inventory.At(sp.TopDevice)
+		out[i] = spikeDTO{
+			StartHour: sp.StartHour, EndHour: sp.EndHour, Packets: sp.Packets,
+			Victim: sp.TopDevice, Share: sp.TopShare,
+			Country: d.Country, Category: d.Category.String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"threshold": threshold, "spikes": out})
+}
+
+func (s *Server) handleTCPPorts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"services": s.res.Analyzer.TopScanServices(analysis.DefaultScanServices()),
+	})
+}
+
+func (s *Server) handleUDPPorts(w http.ResponseWriter, r *http.Request) {
+	n := parseIntDefault(r.URL.Query().Get("n"), 10)
+	if n < 1 || n > 1000 {
+		writeError(w, http.StatusBadRequest, "n must be 1..1000")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ports": s.res.Analyzer.TopUDPPorts(n)})
+}
+
+// Signature is a derived IoT attack signature (the paper's contribution 2:
+// "the analyzed traffic could be leveraged to design such signatures").
+type Signature struct {
+	Name        string   `json:"name"`
+	Protocol    string   `json:"protocol"`
+	Ports       []uint16 `json:"ports"`
+	PacketShare float64  `json:"packetShare"`
+	Devices     int      `json:"devices"`
+	Realm       string   `json:"dominantRealm"`
+}
+
+func (s *Server) handleSignatures(w http.ResponseWriter, _ *http.Request) {
+	var sigs []Signature
+	for _, row := range s.res.Analyzer.TopScanServices(analysis.DefaultScanServices()) {
+		if row.Packets == 0 {
+			continue
+		}
+		realm := "cps"
+		if row.ConsumerPct >= 50 {
+			realm = "consumer"
+		}
+		sigs = append(sigs, Signature{
+			Name: row.Service, Protocol: "tcp-syn", Ports: row.Ports,
+			PacketShare: row.Pct, Devices: row.ConsumerDevices + row.CPSDevices,
+			Realm: realm,
+		})
+	}
+	for _, row := range s.res.Analyzer.TopUDPPorts(10) {
+		sigs = append(sigs, Signature{
+			Name:     fmt.Sprintf("udp-%d", row.Port),
+			Protocol: "udp", Ports: []uint16{row.Port},
+			PacketShare: row.Pct, Devices: row.Devices, Realm: "mixed",
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"signatures": sigs})
+}
+
+func (s *Server) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
+	campaigns, err := campaign.Detect(s.res.Correlate, campaign.DefaultConfig())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": campaigns})
+}
+
+// handleReports serves the per-ISP abuse notification bundles (the paper's
+// "IoT-tailored notifications ... permitting rapid remediation").
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	minDevices := parseIntDefault(r.URL.Query().Get("minDevices"), 1)
+	if minDevices < 1 {
+		writeError(w, http.StatusBadRequest, "minDevices must be >= 1")
+		return
+	}
+	bundles := notify.Build(s.res.Correlate, s.ds.Inventory, s.ds.Registry,
+		s.ds.Threat, notify.Config{MinDevices: minDevices, MinPackets: 1})
+	writeJSON(w, http.StatusOK, map[string]any{"reports": bundles})
+}
+
+func (s *Server) handleMalware(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hashes":   s.res.Malware.Hashes,
+		"domains":  s.res.Malware.Domains,
+		"families": s.res.Malware.Families,
+		"devices":  s.res.Malware.MatchedDevices,
+	})
+}
+
+func parseIntDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,324 @@
+// Package campaign clusters inferred scanning devices into coordinated
+// campaigns — the "identifying and clustering IoT botnets and their illicit
+// activities by solely scrutinizing passive measurements" the paper's
+// conclusion names as future work (and its authors' CSC-Detector line of
+// research).
+//
+// Two scanners belong to the same campaign when their target-port profiles
+// are similar (weighted Jaccard over the ports that carry their scanning
+// packets) — a Mirai-style cohort all hammering 23/2323, an SSH brute-force
+// ring on 22, a CWMP sweep on 7547. Clustering is single-linkage over the
+// similarity graph via union-find, which matches the transitive nature of
+// botnet membership evidence.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"iotscope/internal/correlate"
+)
+
+// Config tunes campaign detection.
+type Config struct {
+	// MinPortShare drops a device's incidental ports: only ports carrying
+	// at least this fraction of the device's scan packets define its
+	// profile (default 0.05).
+	MinPortShare float64
+	// Similarity is the weighted-Jaccard threshold linking two devices
+	// (default 0.5).
+	Similarity float64
+	// MinDevices drops singleton/tiny clusters from the output
+	// (default 2).
+	MinDevices int
+	// MaxProfilePorts caps a device's profile size; devices scanning more
+	// distinct significant ports than this are "sprayers" whose port set
+	// carries no campaign signal, and they are skipped (default 16).
+	MaxProfilePorts int
+}
+
+// DefaultConfig returns the experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		MinPortShare:    0.05,
+		Similarity:      0.5,
+		MinDevices:      2,
+		MaxProfilePorts: 16,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinPortShare <= 0 {
+		c.MinPortShare = 0.05
+	}
+	if c.Similarity <= 0 {
+		c.Similarity = 0.5
+	}
+	if c.MinDevices < 1 {
+		c.MinDevices = 2
+	}
+	if c.MaxProfilePorts <= 0 {
+		c.MaxProfilePorts = 16
+	}
+	return c
+}
+
+// Campaign is one detected cohort.
+type Campaign struct {
+	// Devices are the member device IDs, ascending.
+	Devices []int
+	// Ports is the union of the members' significant ports, by weight.
+	Ports []uint16
+	// Packets is the members' combined scan volume on those ports.
+	Packets uint64
+}
+
+// deviceProfile is a device's significant-port scan profile.
+type deviceProfile struct {
+	id    int
+	ports map[uint16]uint64
+	total uint64
+}
+
+// Detect clusters the scanners in a correlation result.
+func Detect(res *correlate.Result, cfg Config) ([]Campaign, error) {
+	cfg = cfg.withDefaults()
+	if res == nil {
+		return nil, fmt.Errorf("campaign: nil result")
+	}
+
+	profiles := buildProfiles(res, cfg)
+	if len(profiles) == 0 {
+		return nil, nil
+	}
+
+	// Invert to port -> profile indices so similarity candidates are only
+	// the devices sharing at least one significant port (the graph is
+	// sparse: comparing all pairs would be quadratic in the population).
+	byPort := make(map[uint16][]int)
+	for i, p := range profiles {
+		for port := range p.ports {
+			byPort[port] = append(byPort[port], i)
+		}
+	}
+
+	uf := newUnionFind(len(profiles))
+	seenPair := make(map[[2]int]struct{})
+	for _, members := range byPort {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if _, done := seenPair[key]; done {
+					continue
+				}
+				seenPair[key] = struct{}{}
+				if weightedJaccard(profiles[a], profiles[b]) >= cfg.Similarity {
+					uf.union(a, b)
+				}
+			}
+		}
+	}
+
+	// Materialize clusters.
+	groups := make(map[int][]int)
+	for i := range profiles {
+		root := uf.find(i)
+		groups[root] = append(groups[root], i)
+	}
+	var out []Campaign
+	for _, members := range groups {
+		if len(members) < cfg.MinDevices {
+			continue
+		}
+		c := Campaign{}
+		portW := make(map[uint16]uint64)
+		for _, i := range members {
+			p := profiles[i]
+			c.Devices = append(c.Devices, p.id)
+			for port, w := range p.ports {
+				portW[port] += w
+				c.Packets += w
+			}
+		}
+		sort.Ints(c.Devices)
+		c.Ports = sortPortsByWeight(portW)
+		out = append(out, c)
+	}
+	// Largest campaigns first; ties by first device for determinism.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Devices) != len(out[j].Devices) {
+			return len(out[i].Devices) > len(out[j].Devices)
+		}
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Devices[0] < out[j].Devices[0]
+	})
+	return out, nil
+}
+
+// buildProfiles extracts per-device significant-port profiles from the
+// correlation result's TCP scan port index.
+func buildProfiles(res *correlate.Result, cfg Config) []deviceProfile {
+	perDevice := make(map[int]map[uint16]uint64)
+	for port, agg := range res.TCPScanPorts {
+		// The per-port aggregate does not retain per-device packet splits;
+		// attribute the port's packets evenly across its scanners. For
+		// campaign detection only the *membership* structure matters, and
+		// even-split weights preserve it.
+		devs := len(agg.DevicesConsumer) + len(agg.DevicesCPS)
+		if devs == 0 {
+			continue
+		}
+		share := agg.Packets / uint64(devs)
+		if share == 0 {
+			share = 1
+		}
+		add := func(id int) {
+			m := perDevice[id]
+			if m == nil {
+				m = make(map[uint16]uint64, 4)
+				perDevice[id] = m
+			}
+			m[port] += share
+		}
+		for id := range agg.DevicesConsumer {
+			add(id)
+		}
+		for id := range agg.DevicesCPS {
+			add(id)
+		}
+	}
+
+	ids := make([]int, 0, len(perDevice))
+	for id := range perDevice {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	profiles := make([]deviceProfile, 0, len(ids))
+	for _, id := range ids {
+		all := perDevice[id]
+		var total uint64
+		for _, w := range all {
+			total += w
+		}
+		sig := make(map[uint16]uint64)
+		var sigTotal uint64
+		for port, w := range all {
+			if float64(w) >= cfg.MinPortShare*float64(total) {
+				sig[port] = w
+				sigTotal += w
+			}
+		}
+		if len(sig) == 0 || len(sig) > cfg.MaxProfilePorts {
+			continue
+		}
+		profiles = append(profiles, deviceProfile{id: id, ports: sig, total: sigTotal})
+	}
+	return profiles
+}
+
+// weightedJaccard computes sum(min)/sum(max) over normalized port weights.
+func weightedJaccard(a, b deviceProfile) float64 {
+	if a.total == 0 || b.total == 0 {
+		return 0
+	}
+	var interMin, unionMax float64
+	seen := make(map[uint16]struct{}, len(a.ports)+len(b.ports))
+	for port, wa := range a.ports {
+		fa := float64(wa) / float64(a.total)
+		fb := float64(b.ports[port]) / float64(b.total)
+		interMin += minF(fa, fb)
+		unionMax += maxF(fa, fb)
+		seen[port] = struct{}{}
+	}
+	for port, wb := range b.ports {
+		if _, done := seen[port]; done {
+			continue
+		}
+		unionMax += float64(wb) / float64(b.total)
+	}
+	if unionMax == 0 {
+		return 0
+	}
+	return interMin / unionMax
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortPortsByWeight(w map[uint16]uint64) []uint16 {
+	type pw struct {
+		port uint16
+		w    uint64
+	}
+	list := make([]pw, 0, len(w))
+	for port, weight := range w {
+		list = append(list, pw{port, weight})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].w != list[j].w {
+			return list[i].w > list[j].w
+		}
+		return list[i].port < list[j].port
+	})
+	out := make([]uint16, len(list))
+	for i, p := range list {
+		out[i] = p.port
+	}
+	return out
+}
+
+// unionFind is a path-compressing disjoint-set forest.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	switch {
+	case uf.rank[ra] < uf.rank[rb]:
+		uf.parent[ra] = rb
+	case uf.rank[ra] > uf.rank[rb]:
+		uf.parent[rb] = ra
+	default:
+		uf.parent[rb] = ra
+		uf.rank[ra]++
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"iotscope/internal/analysis"
+	"iotscope/internal/devicedb"
+)
+
+// shapeMetrics are the scale-invariant quantities EXPERIMENTS.md compares.
+type shapeMetrics struct {
+	consumerShare float64 // of compromised devices
+	ruShare       float64 // of compromised devices
+	telnetPct     float64 // of TCP scan packets
+	udpShare      float64 // of IoT packets
+	bsShare       float64 // backscatter share of IoT packets
+}
+
+func measure(t *testing.T, scale float64, hours int) shapeMetrics {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "scale-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := DefaultConfig(scale, 12321)
+	cfg.Hours = hours
+	ds, err := Generate(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m shapeMetrics
+	m.consumerShare = float64(res.Summary.Consumer) / float64(res.Summary.Total)
+	for _, row := range res.Analyzer.CompromisedByCountry(3) {
+		if row.Code == "RU" {
+			m.ruShare = float64(row.Total()) / float64(res.Summary.Total)
+		}
+	}
+	for _, row := range res.Analyzer.TopScanServices(analysis.DefaultScanServices()) {
+		if row.Service == "Telnet" {
+			m.telnetPct = row.Pct
+		}
+	}
+	mix := res.Analyzer.ProtocolBreakdown()
+	m.udpShare = mix.UDPCPS + mix.UDPConsumer
+	m.bsShare = res.Analyzer.Backscatter().PctOfIoTTraffic
+	_ = devicedb.Consumer
+	return m
+}
+
+// The design's central scaling claim: shape metrics are stable across
+// scales because populations and volumes scale together while per-device
+// behaviour is fixed.
+func TestShapeStableAcrossScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scale generation is slow")
+	}
+	small := measure(t, 0.004, 72)
+	large := measure(t, 0.012, 72)
+
+	check := func(name string, a, b, tol float64) {
+		if math.Abs(a-b) > tol {
+			t.Errorf("%s drifted across scales: %.3f vs %.3f (tol %.3f)", name, a, b, tol)
+		}
+	}
+	check("consumer share", small.consumerShare, large.consumerShare, 0.06)
+	check("RU share", small.ruShare, large.ruShare, 0.08)
+	check("Telnet pct", small.telnetPct, large.telnetPct, 15)
+	check("UDP share", small.udpShare, large.udpShare, 5)
+	check("backscatter share", small.bsShare, large.bsShare, 6)
+}

@@ -1,0 +1,417 @@
+package correlate
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"iotscope/internal/classify"
+	"iotscope/internal/devicedb"
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/netx"
+	"iotscope/internal/sketch"
+)
+
+// Options tunes the correlator.
+type Options struct {
+	// Workers bounds concurrent hour files (default: GOMAXPROCS).
+	Workers int
+	// UseSketches switches the per-hour unique-destination counters from
+	// exact sets to HyperLogLogs — the telescope-scale mode.
+	UseSketches bool
+	// SketchPrecision is the HLL precision (default 14).
+	SketchPrecision int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SketchPrecision == 0 {
+		o.SketchPrecision = 14
+	}
+	return o
+}
+
+// Correlator joins darknet traffic against an inventory.
+type Correlator struct {
+	inv  *devicedb.Inventory
+	opts Options
+}
+
+// New returns a correlator over the inventory.
+func New(inv *devicedb.Inventory, opts Options) *Correlator {
+	return &Correlator{inv: inv, opts: opts.withDefaults()}
+}
+
+// ProcessDataset correlates every hourly file in dir.
+func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
+	hours, err := flowtuple.DatasetHours(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(hours) == 0 {
+		return nil, fmt.Errorf("correlate: no hourly files in %s", dir)
+	}
+	maxHour := hours[len(hours)-1]
+	res := newResult(maxHour + 1)
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, c.opts.Workers)
+	bgSources, err := sketch.NewHLL(c.opts.SketchPrecision)
+	if err != nil {
+		return nil, err
+	}
+	for _, hour := range hours {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(hour int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			part, err := c.processHourFile(dir, hour)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			mergePartial(res, part, bgSources)
+		}(hour)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Background.Sources = bgSources.Estimate()
+	return res, nil
+}
+
+// ProcessHour correlates a single hour file into a fresh partial Result —
+// useful for incremental pipelines and tests.
+func (c *Correlator) ProcessHour(dir string, hour int) (*Result, error) {
+	part, err := c.processHourFile(dir, hour)
+	if err != nil {
+		return nil, err
+	}
+	res := newResult(hour + 1)
+	bg, err := sketch.NewHLL(c.opts.SketchPrecision)
+	if err != nil {
+		return nil, err
+	}
+	mergePartial(res, part, bg)
+	res.Background.Sources = bg.Estimate()
+	return res, nil
+}
+
+func newResult(hours int) *Result {
+	res := &Result{
+		Hours:        hours,
+		Devices:      make(map[int]*DeviceStats),
+		Hourly:       make([]HourStats, hours),
+		UDPPorts:     make(map[uint16]*PortAgg),
+		TCPScanPorts: make(map[uint16]*TCPPortAgg),
+		TCPPortHour:  make(map[PortHour]uint64),
+	}
+	for i := range res.Hourly {
+		res.Hourly[i].Hour = i
+	}
+	return res
+}
+
+// hourPartial is the commutative partial aggregate for one hour file.
+type hourPartial struct {
+	hour       int
+	stats      HourStats
+	devices    map[int]*DeviceStats
+	udpPorts   map[uint16]*PortAgg
+	tcpPorts   map[uint16]*TCPPortAgg
+	portHour   map[PortHour]uint64
+	bgRecords  uint64
+	bgPackets  uint64
+	bgSrcHLL   *sketch.HLL
+	perDevPort map[int]map[uint16]struct{} // per-device TCP scan ports this hour
+	perDevDest map[int]map[netx.Addr]struct{}
+}
+
+// destCounter counts unique destinations exactly or approximately.
+type destCounter interface {
+	add(v uint32)
+	estimate() uint64
+}
+
+type exactCounter struct{ m map[uint32]struct{} }
+
+func newExactCounter() *exactCounter { return &exactCounter{m: make(map[uint32]struct{}, 1024)} }
+
+func (e *exactCounter) add(v uint32)     { e.m[v] = struct{}{} }
+func (e *exactCounter) estimate() uint64 { return uint64(len(e.m)) }
+
+type hllCounter struct{ h *sketch.HLL }
+
+func (h hllCounter) add(v uint32)     { h.h.AddAddr(v) }
+func (h hllCounter) estimate() uint64 { return h.h.Estimate() }
+
+func (c *Correlator) newDestCounter() destCounter {
+	if c.opts.UseSketches {
+		h, err := sketch.NewHLL(c.opts.SketchPrecision)
+		if err == nil {
+			return hllCounter{h}
+		}
+	}
+	return newExactCounter()
+}
+
+// portBitset tracks unique 16-bit ports in 8 KiB.
+type portBitset [65536 / 64]uint64
+
+func (b *portBitset) add(p uint16) {
+	b[p>>6] |= 1 << (p & 63)
+}
+
+func (b *portBitset) count() uint64 {
+	var n uint64
+	for _, w := range b {
+		n += uint64(popcount(w))
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// processHourFile streams one hour file into a partial aggregate.
+func (c *Correlator) processHourFile(dir string, hour int) (*hourPartial, error) {
+	part := &hourPartial{
+		hour:       hour,
+		stats:      HourStats{Hour: hour},
+		devices:    make(map[int]*DeviceStats),
+		udpPorts:   make(map[uint16]*PortAgg),
+		tcpPorts:   make(map[uint16]*TCPPortAgg),
+		portHour:   make(map[PortHour]uint64),
+		perDevPort: make(map[int]map[uint16]struct{}),
+		perDevDest: make(map[int]map[netx.Addr]struct{}),
+	}
+	var err error
+	part.bgSrcHLL, err = sketch.NewHLL(c.opts.SketchPrecision)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-category scratch counters.
+	var (
+		active       [2]map[int]struct{}
+		udpDevs      [2]map[int]struct{}
+		scanDevs     [2]map[int]struct{}
+		udpDstIPs    [2]destCounter
+		udpDstPorts  [2]*portBitset
+		scanDstIPs   [2]destCounter
+		scanDstPorts [2]*portBitset
+	)
+	for i := 0; i < 2; i++ {
+		active[i] = make(map[int]struct{}, 1024)
+		udpDevs[i] = make(map[int]struct{}, 1024)
+		scanDevs[i] = make(map[int]struct{}, 1024)
+		udpDstIPs[i] = c.newDestCounter()
+		udpDstPorts[i] = &portBitset{}
+		scanDstIPs[i] = c.newDestCounter()
+		scanDstPorts[i] = &portBitset{}
+	}
+
+	rd, err := flowtuple.Open(flowtuple.HourPath(dir, hour))
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		devIdx, isIoT := c.inv.LookupIP(netx.Addr(rec.SrcIP))
+		if !isIoT {
+			part.bgRecords++
+			part.bgPackets += uint64(rec.Packets)
+			part.bgSrcHLL.AddAddr(rec.SrcIP)
+			continue
+		}
+		dev := c.inv.At(devIdx)
+		cls := classify.Record(rec)
+		ci := int(dev.Category) - 1
+		pkts := uint64(rec.Packets)
+
+		part.stats.RecordsIoT++
+		cat := &part.stats.PerCat[ci]
+		cat.Packets[cls.Index()] += pkts
+		active[ci][devIdx] = struct{}{}
+
+		ds := part.devices[devIdx]
+		if ds == nil {
+			ds = &DeviceStats{ID: devIdx, FirstSeen: hour}
+			if day := hour / 24; day < 64 {
+				ds.DayMask = 1 << day
+			}
+			part.devices[devIdx] = ds
+		}
+		ds.Records++
+		ds.Packets[cls.Index()] += pkts
+
+		switch cls {
+		case classify.UDP:
+			udpDevs[ci][devIdx] = struct{}{}
+			udpDstIPs[ci].add(rec.DstIP)
+			udpDstPorts[ci].add(rec.DstPort)
+			pa := part.udpPorts[rec.DstPort]
+			if pa == nil {
+				pa = &PortAgg{Devices: make(map[int]struct{}, 4)}
+				part.udpPorts[rec.DstPort] = pa
+			}
+			pa.Packets += pkts
+			pa.Devices[devIdx] = struct{}{}
+		case classify.Backscatter:
+			if ds.BackscatterHourly == nil {
+				ds.BackscatterHourly = make(map[int]uint64, 4)
+			}
+			ds.BackscatterHourly[hour] += pkts
+		case classify.ScanTCP:
+			scanDevs[ci][devIdx] = struct{}{}
+			scanDstIPs[ci].add(rec.DstIP)
+			scanDstPorts[ci].add(rec.DstPort)
+			ta := part.tcpPorts[rec.DstPort]
+			if ta == nil {
+				ta = &TCPPortAgg{
+					DevicesConsumer: make(map[int]struct{}, 4),
+					DevicesCPS:      make(map[int]struct{}, 4),
+				}
+				part.tcpPorts[rec.DstPort] = ta
+			}
+			ta.Packets += pkts
+			if dev.Category == devicedb.Consumer {
+				ta.PacketsConsumer += pkts
+				ta.DevicesConsumer[devIdx] = struct{}{}
+			} else {
+				ta.DevicesCPS[devIdx] = struct{}{}
+			}
+			part.portHour[PortHour{Port: rec.DstPort, Hour: uint16(hour)}] += pkts
+
+			dp := part.perDevPort[devIdx]
+			if dp == nil {
+				dp = make(map[uint16]struct{}, 8)
+				part.perDevPort[devIdx] = dp
+			}
+			dp[rec.DstPort] = struct{}{}
+			dd := part.perDevDest[devIdx]
+			if dd == nil {
+				dd = make(map[netx.Addr]struct{}, 8)
+				part.perDevDest[devIdx] = dd
+			}
+			dd[netx.Addr(rec.DstIP)] = struct{}{}
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		cat := &part.stats.PerCat[i]
+		cat.ActiveDevices = len(active[i])
+		cat.UDPDevices = len(udpDevs[i])
+		cat.ScanDevices = len(scanDevs[i])
+		cat.UDPDstIPs = udpDstIPs[i].estimate()
+		cat.UDPDstPorts = udpDstPorts[i].count()
+		cat.ScanDstIPs = scanDstIPs[i].estimate()
+		cat.ScanDstPorts = scanDstPorts[i].count()
+	}
+	// Fold per-device port sweeps into running maxima.
+	for devIdx, ports := range part.perDevPort {
+		ds := part.devices[devIdx]
+		if n := len(ports); n > ds.MaxScanPorts {
+			ds.MaxScanPorts = n
+			ds.MaxScanPortsHour = hour
+			ds.MaxScanDests = len(part.perDevDest[devIdx])
+		}
+	}
+	return part, nil
+}
+
+// mergePartial folds an hour partial into the global result. All operations
+// commute, so merge order (and thus worker scheduling) cannot change the
+// outcome.
+func mergePartial(res *Result, part *hourPartial, bgSources *sketch.HLL) {
+	res.Hourly[part.hour] = part.stats
+	res.Background.Records += part.bgRecords
+	res.Background.Packets += part.bgPackets
+	bgSources.Merge(part.bgSrcHLL) //nolint:errcheck // same precision by construction
+
+	for id, d := range part.devices {
+		g := res.Devices[id]
+		if g == nil {
+			res.Devices[id] = d
+			continue
+		}
+		if d.FirstSeen < g.FirstSeen {
+			g.FirstSeen = d.FirstSeen
+		}
+		g.Records += d.Records
+		g.DayMask |= d.DayMask
+		for i := range g.Packets {
+			g.Packets[i] += d.Packets[i]
+		}
+		if d.BackscatterHourly != nil {
+			if g.BackscatterHourly == nil {
+				g.BackscatterHourly = d.BackscatterHourly
+			} else {
+				for h, v := range d.BackscatterHourly {
+					g.BackscatterHourly[h] += v
+				}
+			}
+		}
+		if d.MaxScanPorts > g.MaxScanPorts {
+			g.MaxScanPorts = d.MaxScanPorts
+			g.MaxScanPortsHour = d.MaxScanPortsHour
+			g.MaxScanDests = d.MaxScanDests
+		}
+	}
+	for port, pa := range part.udpPorts {
+		g := res.UDPPorts[port]
+		if g == nil {
+			res.UDPPorts[port] = pa
+			continue
+		}
+		g.Packets += pa.Packets
+		for id := range pa.Devices {
+			g.Devices[id] = struct{}{}
+		}
+	}
+	for port, ta := range part.tcpPorts {
+		g := res.TCPScanPorts[port]
+		if g == nil {
+			res.TCPScanPorts[port] = ta
+			continue
+		}
+		g.Packets += ta.Packets
+		g.PacketsConsumer += ta.PacketsConsumer
+		for id := range ta.DevicesConsumer {
+			g.DevicesConsumer[id] = struct{}{}
+		}
+		for id := range ta.DevicesCPS {
+			g.DevicesCPS[id] = struct{}{}
+		}
+	}
+	for ph, v := range part.portHour {
+		res.TCPPortHour[ph] += v
+	}
+}

@@ -1,0 +1,74 @@
+package correlate
+
+import (
+	"fmt"
+	"sort"
+
+	"iotscope/internal/sketch"
+)
+
+// Incremental is the near-real-time mode the paper's Discussion targets
+// ("automate the devised methodologies to index, in near real-time,
+// unsolicited Internet-scale IoT devices"): hour files are ingested as they
+// arrive, the running Result stays queryable between hours, and each
+// ingest reports the devices discovered for the first time.
+type Incremental struct {
+	c     *Correlator
+	res   *Result
+	bg    *sketch.HLL
+	hours map[int]bool
+}
+
+// NewIncremental returns an incremental correlator sized for up to
+// maxHours hour slots.
+func (c *Correlator) NewIncremental(maxHours int) (*Incremental, error) {
+	if maxHours <= 0 {
+		return nil, fmt.Errorf("correlate: maxHours %d must be positive", maxHours)
+	}
+	bg, err := sketch.NewHLL(c.opts.SketchPrecision)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		c:     c,
+		res:   newResult(maxHours),
+		bg:    bg,
+		hours: make(map[int]bool, maxHours),
+	}, nil
+}
+
+// Ingest processes one newly arrived hour file and returns the IDs of
+// devices seen for the first time (the near-real-time notification feed),
+// ascending. Ingesting the same hour twice is rejected.
+func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
+	if hour < 0 || hour >= len(inc.res.Hourly) {
+		return nil, fmt.Errorf("correlate: hour %d outside [0, %d)", hour, len(inc.res.Hourly))
+	}
+	if inc.hours[hour] {
+		return nil, fmt.Errorf("correlate: hour %d already ingested", hour)
+	}
+	part, err := inc.c.processHourFile(dir, hour)
+	if err != nil {
+		return nil, err
+	}
+	var fresh []int
+	for id := range part.devices {
+		if _, known := inc.res.Devices[id]; !known {
+			fresh = append(fresh, id)
+		}
+	}
+	sort.Ints(fresh)
+	mergePartial(inc.res, part, inc.bg)
+	inc.hours[hour] = true
+	return fresh, nil
+}
+
+// HoursIngested returns how many hour files have been folded in.
+func (inc *Incremental) HoursIngested() int { return len(inc.hours) }
+
+// Result returns the live running result. The caller must not retain it
+// across Ingest calls if it needs a stable snapshot.
+func (inc *Incremental) Result() *Result {
+	inc.res.Background.Sources = inc.bg.Estimate()
+	return inc.res
+}

@@ -1,0 +1,323 @@
+package devicedb
+
+import (
+	"fmt"
+	"sort"
+
+	"iotscope/internal/geo"
+	"iotscope/internal/netx"
+	"iotscope/internal/rng"
+)
+
+// CountryShare assigns a deployment share (fraction of all devices) to a
+// country, with an optional CPS bias (Fig. 1a reports CPS outnumbering
+// consumer devices in CN, FR, CA, VN, TW, ES).
+type CountryShare struct {
+	Code    string
+	Share   float64
+	CPSBias bool
+}
+
+// TypeWeight is a deployment weight for one consumer device type.
+type TypeWeight struct {
+	Type   DeviceType
+	Weight float64
+}
+
+// GenConfig controls inventory synthesis.
+type GenConfig struct {
+	// TotalDevices is the inventory size (the paper: 331 000).
+	TotalDevices int
+	// ConsumerFraction is the global consumer share (the paper: 181/331).
+	ConsumerFraction float64
+	// BiasedConsumerFraction applies to CPSBias countries.
+	BiasedConsumerFraction float64
+	// CountryShares lists per-country deployment shares; the remainder is
+	// spread uniformly over every registry country not listed.
+	CountryShares []CountryShare
+	// ConsumerTypeWeights shapes Fig. 3's deployed type mix.
+	ConsumerTypeWeights []TypeWeight
+	// ServicesPerCPSMin/Max bound how many protocols a CPS device runs.
+	ServicesPerCPSMin int
+	ServicesPerCPSMax int
+	// ISPZipfExponent skews consumer devices onto each country's leading
+	// ISPs (Table I: ER-Telecom holds 27.6 % of compromised consumer
+	// devices).
+	ISPZipfExponent float64
+	// CPSISPZipfExponent spreads CPS devices more evenly over operators
+	// (Table II's leader holds only 4.5 %), with per-country overrides for
+	// the operators the paper names (RU's Rostelecom).
+	CPSISPZipfExponent    float64
+	CPSISPCountryExponent map[string]float64
+}
+
+// DefaultGenConfig mirrors the paper's Sec. III-A1 deployment statistics at
+// the given inventory size.
+func DefaultGenConfig(totalDevices int) GenConfig {
+	return GenConfig{
+		TotalDevices:           totalDevices,
+		ConsumerFraction:       181.0 / 331.0,
+		BiasedConsumerFraction: 0.40,
+		CountryShares: []CountryShare{
+			// Fig. 1a top 15 (cumulative 69.3 %).
+			{Code: "US", Share: 25.0}, {Code: "GB", Share: 6.0},
+			{Code: "RU", Share: 5.9}, {Code: "CN", Share: 5.0, CPSBias: true},
+			{Code: "KR", Share: 4.8}, {Code: "FR", Share: 4.4, CPSBias: true},
+			{Code: "IT", Share: 3.9}, {Code: "DE", Share: 3.5},
+			{Code: "CA", Share: 3.1, CPSBias: true}, {Code: "AU", Share: 2.8},
+			{Code: "VN", Share: 2.5, CPSBias: true}, {Code: "TW", Share: 2.3, CPSBias: true},
+			{Code: "BR", Share: 2.2}, {Code: "ES", Share: 2.1, CPSBias: true},
+			{Code: "MX", Share: 1.8},
+			// Countries outside the deployment top 15 that appear in the
+			// compromised top 15 (Fig. 1b): modest deployment, so their high
+			// compromise counts come from high per-country compromise rates.
+			{Code: "TH", Share: 1.6}, {Code: "ID", Share: 1.6},
+			{Code: "SG", Share: 1.0}, {Code: "TR", Share: 1.3},
+			{Code: "UA", Share: 0.8}, {Code: "IN", Share: 1.5},
+			{Code: "PH", Share: 0.9}, {Code: "NL", Share: 1.2},
+			{Code: "CH", Share: 0.8}, {Code: "AR", Share: 0.7},
+			{Code: "JP", Share: 1.6}, {Code: "DO", Share: 0.3},
+			{Code: "ZA", Share: 0.6}, {Code: "MY", Share: 0.7},
+			{Code: "PL", Share: 1.0}, {Code: "SE", Share: 0.9},
+		},
+		ConsumerTypeWeights: []TypeWeight{
+			// Sec. III-A1: routers 46.9 %, printers 29.1 %, cameras 18.3 %,
+			// storage 4.6 %, remainder 1.1 %.
+			{TypeRouter, 46.9}, {TypePrinter, 29.1}, {TypeIPCamera, 18.3},
+			{TypeStorage, 4.6}, {TypeDVR, 0.9}, {TypeHub, 0.2},
+		},
+		ServicesPerCPSMin:     1,
+		ServicesPerCPSMax:     2,
+		ISPZipfExponent:       1.6,
+		CPSISPZipfExponent:    1.0,
+		CPSISPCountryExponent: map[string]float64{"RU": 1.6},
+	}
+}
+
+// Generate synthesizes an inventory over the registry, deterministically
+// from seed.
+func Generate(cfg GenConfig, reg *geo.Registry, seed uint64) (*Inventory, error) {
+	if cfg.TotalDevices <= 0 {
+		return nil, fmt.Errorf("devicedb: total devices %d must be positive", cfg.TotalDevices)
+	}
+	if cfg.ConsumerFraction < 0 || cfg.ConsumerFraction > 1 {
+		return nil, fmt.Errorf("devicedb: consumer fraction %v out of [0,1]", cfg.ConsumerFraction)
+	}
+	if cfg.ServicesPerCPSMin < 1 || cfg.ServicesPerCPSMax < cfg.ServicesPerCPSMin {
+		return nil, fmt.Errorf("devicedb: invalid services-per-CPS range")
+	}
+	r := rng.New(seed).Derive("devicedb")
+
+	countries, shares, biased := expandCountryShares(cfg, reg)
+	countryCounts := Apportion(cfg.TotalDevices, shares)
+
+	typeWeights := make([]float64, len(cfg.ConsumerTypeWeights))
+	for i, tw := range cfg.ConsumerTypeWeights {
+		typeWeights[i] = tw.Weight
+	}
+
+	serviceWeights := make([]float64, len(CPSServices))
+	for i, s := range CPSServices {
+		serviceWeights[i] = s.Weight
+	}
+	serviceDist := rng.NewCategorical(serviceWeights)
+
+	used := make(map[netx.Addr]struct{}, cfg.TotalDevices)
+	devices := make([]Device, 0, cfg.TotalDevices)
+
+	for ci, code := range countries {
+		n := countryCounts[ci]
+		if n == 0 {
+			continue
+		}
+		isps := reg.ISPsIn(code)
+		if len(isps) == 0 {
+			return nil, fmt.Errorf("devicedb: country %q has no ISPs", code)
+		}
+		consumerFrac := cfg.ConsumerFraction
+		if biased[ci] {
+			consumerFrac = cfg.BiasedConsumerFraction
+		}
+		nConsumer := int(float64(n)*consumerFrac + 0.5)
+		nCPS := n - nConsumer
+		cr := r.Derive("country", code)
+
+		// Consumer devices, exact type apportionment.
+		typeCounts := Apportion(nConsumer, typeWeights)
+		for ti, tc := range typeCounts {
+			typ := cfg.ConsumerTypeWeights[ti].Type
+			for k := 0; k < tc; k++ {
+				isp := pickISP(cr, isps, cfg.ISPZipfExponent, 0)
+				ip, err := uniqueAddr(cr, reg, isp, used)
+				if err != nil {
+					return nil, err
+				}
+				devices = append(devices, Device{
+					IP: ip, Category: Consumer, Type: typ,
+					Country: code, ISP: isp,
+				})
+			}
+		}
+		// CPS devices. The ISP preference order is rotated by one so a
+		// country's business operator differs from its consumer leader
+		// (Table I vs Table II: ER-Telecom vs Rostelecom), and the skew is
+		// flatter except where the paper names a dominant operator.
+		cpsExp := cfg.CPSISPZipfExponent
+		if cpsExp == 0 {
+			cpsExp = cfg.ISPZipfExponent
+		}
+		if v, ok := cfg.CPSISPCountryExponent[code]; ok {
+			cpsExp = v
+		}
+		for k := 0; k < nCPS; k++ {
+			isp := pickISP(cr, isps, cpsExp, 1)
+			ip, err := uniqueAddr(cr, reg, isp, used)
+			if err != nil {
+				return nil, err
+			}
+			nsvc := cfg.ServicesPerCPSMin
+			if cfg.ServicesPerCPSMax > cfg.ServicesPerCPSMin {
+				nsvc += cr.Intn(cfg.ServicesPerCPSMax - cfg.ServicesPerCPSMin + 1)
+			}
+			svcs := sampleServices(cr, serviceDist, nsvc)
+			devices = append(devices, Device{
+				IP: ip, Category: CPS, Type: TypeCPS,
+				Country: code, ISP: isp, Services: svcs,
+			})
+		}
+	}
+
+	// Shuffle so device IDs carry no country ordering, then assign IDs.
+	r.Shuffle(len(devices), func(i, j int) { devices[i], devices[j] = devices[j], devices[i] })
+	for i := range devices {
+		devices[i].ID = i
+	}
+	return NewInventory(devices)
+}
+
+// expandCountryShares resolves the configured shares against the registry
+// country list, spreading the residual share uniformly over unlisted
+// countries.
+func expandCountryShares(cfg GenConfig, reg *geo.Registry) (codes []string, shares []float64, biased []bool) {
+	listed := make(map[string]CountryShare, len(cfg.CountryShares))
+	total := 0.0
+	for _, cs := range cfg.CountryShares {
+		listed[cs.Code] = cs
+		total += cs.Share
+	}
+	var unlisted []string
+	for _, c := range reg.Countries {
+		if _, ok := listed[c.Code]; !ok {
+			unlisted = append(unlisted, c.Code)
+		}
+	}
+	residual := 0.0
+	if total < 100 {
+		residual = 100 - total
+	}
+	per := 0.0
+	if len(unlisted) > 0 {
+		per = residual / float64(len(unlisted))
+	}
+	for _, c := range reg.Countries {
+		if cs, ok := listed[c.Code]; ok {
+			codes = append(codes, c.Code)
+			shares = append(shares, cs.Share)
+			biased = append(biased, cs.CPSBias)
+		} else {
+			codes = append(codes, c.Code)
+			shares = append(shares, per)
+			biased = append(biased, false)
+		}
+	}
+	return codes, shares, biased
+}
+
+// pickISP samples an ISP index with Zipf-skewed preference, rotating the
+// preference order by rotate positions.
+func pickISP(r *rng.Source, isps []int, exponent float64, rotate int) int {
+	if len(isps) == 1 {
+		return isps[0]
+	}
+	z := rng.NewZipf(len(isps), exponent)
+	rank := z.Sample(r) - 1
+	return isps[(rank+rotate)%len(isps)]
+}
+
+// uniqueAddr draws an unused address from the ISP's space.
+func uniqueAddr(r *rng.Source, reg *geo.Registry, isp int, used map[netx.Addr]struct{}) (netx.Addr, error) {
+	for attempt := 0; attempt < 1000; attempt++ {
+		a := reg.RandomAddr(r, isp)
+		if _, dup := used[a]; !dup {
+			used[a] = struct{}{}
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("devicedb: ISP %d address space saturated", isp)
+}
+
+// sampleServices draws n distinct services from the deployment mix.
+func sampleServices(r *rng.Source, dist *rng.Categorical, n int) []string {
+	seen := make(map[int]struct{}, n)
+	out := make([]string, 0, n)
+	for attempt := 0; len(out) < n && attempt < 50; attempt++ {
+		i := dist.Sample(r)
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, CPSServices[i].Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apportion splits total into len(weights) integer parts proportional to
+// weights using the largest-remainder method, so small-scale runs preserve
+// the configured shares exactly rather than multinomially.
+func Apportion(total int, weights []float64) []int {
+	out := make([]int, len(weights))
+	if total <= 0 || len(weights) == 0 {
+		return out
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 {
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		exact := float64(total) * w / sum
+		out[i] = int(exact)
+		assigned += out[i]
+		rems = append(rems, rem{i, exact - float64(out[i])})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].idx < rems[j].idx
+	})
+	for k := 0; assigned < total && k < len(rems); k++ {
+		out[rems[k].idx]++
+		assigned++
+	}
+	// Degenerate carry (all fractions zero): dump remainder on heaviest.
+	for assigned < total {
+		out[rems[0].idx]++
+		assigned++
+	}
+	return out
+}

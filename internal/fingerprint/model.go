@@ -1,0 +1,219 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iotscope/internal/netx"
+)
+
+// Model is a one-class k-nearest-neighbour matcher over standardized
+// behavioural vectors of known-IoT sources. A candidate is IoT-like when
+// its mean distance to its k nearest training profiles falls inside the
+// radius learned from the training set itself (leave-one-out quantile).
+type Model struct {
+	mean      [NumFeatures]float64
+	std       [NumFeatures]float64
+	train     [][NumFeatures]float64
+	k         int
+	threshold float64
+}
+
+// TrainConfig tunes model fitting.
+type TrainConfig struct {
+	// K is the neighbour count (default 3).
+	K int
+	// Quantile of leave-one-out training scores used as the acceptance
+	// radius (default 0.80: accept what resembles the bulk of known IoT; the
+	// tail of eccentric devices is sacrificed for precision).
+	Quantile float64
+}
+
+// Train fits a model on the profiles of inferred IoT devices.
+func Train(profiles []*Profile, cfg TrainConfig) (*Model, error) {
+	if cfg.K <= 0 {
+		cfg.K = 3
+	}
+	if cfg.Quantile <= 0 || cfg.Quantile > 1 {
+		cfg.Quantile = 0.80
+	}
+	if len(profiles) < cfg.K+1 {
+		return nil, fmt.Errorf("fingerprint: need at least %d training profiles, got %d",
+			cfg.K+1, len(profiles))
+	}
+	m := &Model{k: cfg.K}
+	m.train = make([][NumFeatures]float64, len(profiles))
+	for i, p := range profiles {
+		m.train[i] = p.Vector()
+	}
+	// Standardization statistics.
+	n := float64(len(m.train))
+	for d := 0; d < NumFeatures; d++ {
+		var sum, sq float64
+		for _, v := range m.train {
+			sum += v[d]
+			sq += v[d] * v[d]
+		}
+		mu := sum / n
+		variance := sq/n - mu*mu
+		if variance < 1e-12 {
+			variance = 1e-12
+		}
+		m.mean[d] = mu
+		m.std[d] = math.Sqrt(variance)
+	}
+	for i := range m.train {
+		m.train[i] = m.standardize(m.train[i])
+	}
+	// Leave-one-out calibration: each training vector scored against the
+	// rest; the configured quantile becomes the acceptance radius.
+	scores := make([]float64, len(m.train))
+	for i := range m.train {
+		scores[i] = m.knnScore(m.train[i], i)
+	}
+	sort.Float64s(scores)
+	idx := int(cfg.Quantile * float64(len(scores)-1))
+	m.threshold = scores[idx]
+	return m, nil
+}
+
+func (m *Model) standardize(v [NumFeatures]float64) [NumFeatures]float64 {
+	var out [NumFeatures]float64
+	for d := 0; d < NumFeatures; d++ {
+		out[d] = (v[d] - m.mean[d]) / m.std[d]
+	}
+	return out
+}
+
+// knnScore is the mean Euclidean distance to the k nearest training
+// vectors, skipping index skip (-1 for none).
+func (m *Model) knnScore(v [NumFeatures]float64, skip int) float64 {
+	// Bounded insertion keeps the k smallest distances.
+	best := make([]float64, 0, m.k)
+	worst := math.Inf(1)
+	for i, t := range m.train {
+		if i == skip {
+			continue
+		}
+		var d2 float64
+		for d := 0; d < NumFeatures; d++ {
+			diff := v[d] - t[d]
+			d2 += diff * diff
+			if d2 >= worst && len(best) == m.k {
+				break
+			}
+		}
+		if len(best) < m.k {
+			best = append(best, d2)
+			if len(best) == m.k {
+				sort.Float64s(best)
+				worst = best[m.k-1]
+			}
+			continue
+		}
+		if d2 < worst {
+			// Replace the current worst and re-establish order.
+			best[m.k-1] = d2
+			for j := m.k - 1; j > 0 && best[j] < best[j-1]; j-- {
+				best[j], best[j-1] = best[j-1], best[j]
+			}
+			worst = best[m.k-1]
+		}
+	}
+	var sum float64
+	for _, d2 := range best {
+		sum += math.Sqrt(d2)
+	}
+	return sum / float64(len(best))
+}
+
+// Score returns the candidate's distance score (lower = more IoT-like).
+func (m *Model) Score(p *Profile) float64 {
+	return m.knnScore(m.standardize(p.Vector()), -1)
+}
+
+// Threshold returns the calibrated acceptance radius.
+func (m *Model) Threshold() float64 { return m.threshold }
+
+// IsIoTLike reports whether the profile falls inside the learned radius.
+func (m *Model) IsIoTLike(p *Profile) bool {
+	return m.Score(p) <= m.threshold
+}
+
+// Finding is one candidate classified by the model.
+type Finding struct {
+	Addr    netx.Addr
+	Score   float64
+	IoTLike bool
+}
+
+// Classify scores every candidate profile, returning findings sorted by
+// ascending score (most IoT-like first).
+func (m *Model) Classify(candidates map[netx.Addr]*Profile) []Finding {
+	out := make([]Finding, 0, len(candidates))
+	for addr, p := range candidates {
+		s := m.Score(p)
+		out = append(out, Finding{Addr: addr, Score: s, IoTLike: s <= m.threshold})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Evaluation summarizes classification against ground truth.
+type Evaluation struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Precision returns TP / (TP + FP).
+func (e Evaluation) Precision() float64 {
+	if e.TruePositives+e.FalsePositives == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(e.TruePositives+e.FalsePositives)
+}
+
+// Recall returns TP / (TP + FN).
+func (e Evaluation) Recall() float64 {
+	if e.TruePositives+e.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(e.TruePositives+e.FalseNegatives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (e Evaluation) F1() float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate classifies candidates and scores the outcome against isIoT.
+func (m *Model) Evaluate(candidates map[netx.Addr]*Profile, isIoT func(netx.Addr) bool) Evaluation {
+	var ev Evaluation
+	for addr, p := range candidates {
+		predicted := m.IsIoTLike(p)
+		actual := isIoT(addr)
+		switch {
+		case predicted && actual:
+			ev.TruePositives++
+		case predicted && !actual:
+			ev.FalsePositives++
+		case !predicted && actual:
+			ev.FalseNegatives++
+		default:
+			ev.TrueNegatives++
+		}
+	}
+	return ev
+}

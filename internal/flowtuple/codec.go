@@ -1,0 +1,44 @@
+package flowtuple
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RecordSize is the fixed on-disk size of one encoded record in bytes.
+const RecordSize = 21
+
+// AppendRecord encodes r and appends it to dst, returning the extended
+// slice. Layout (little-endian): SrcIP(4) DstIP(4) SrcPort(2) DstPort(2)
+// Protocol(1) TTL(1) TCPFlags(1) IPLen(2) Packets(4).
+func AppendRecord(dst []byte, r Record) []byte {
+	var buf [RecordSize]byte
+	binary.LittleEndian.PutUint32(buf[0:], r.SrcIP)
+	binary.LittleEndian.PutUint32(buf[4:], r.DstIP)
+	binary.LittleEndian.PutUint16(buf[8:], r.SrcPort)
+	binary.LittleEndian.PutUint16(buf[10:], r.DstPort)
+	buf[12] = r.Protocol
+	buf[13] = r.TTL
+	buf[14] = r.TCPFlags
+	binary.LittleEndian.PutUint16(buf[15:], r.IPLen)
+	binary.LittleEndian.PutUint32(buf[17:], r.Packets)
+	return append(dst, buf[:]...)
+}
+
+// DecodeRecord decodes one record from the first RecordSize bytes of src.
+func DecodeRecord(src []byte) (Record, error) {
+	if len(src) < RecordSize {
+		return Record{}, fmt.Errorf("flowtuple: short record: %d bytes", len(src))
+	}
+	return Record{
+		SrcIP:    binary.LittleEndian.Uint32(src[0:]),
+		DstIP:    binary.LittleEndian.Uint32(src[4:]),
+		SrcPort:  binary.LittleEndian.Uint16(src[8:]),
+		DstPort:  binary.LittleEndian.Uint16(src[10:]),
+		Protocol: src[12],
+		TTL:      src[13],
+		TCPFlags: src[14],
+		IPLen:    binary.LittleEndian.Uint16(src[15:]),
+		Packets:  binary.LittleEndian.Uint32(src[17:]),
+	}, nil
+}

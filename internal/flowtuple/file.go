@@ -1,0 +1,239 @@
+package flowtuple
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File format: gzip stream containing a 16-byte header followed by framed
+// records and a footer. Each frame starts with a tag byte: tagRecord
+// precedes one fixed-size record, tagFooter precedes the 4-byte record
+// count and ends the stream. The tag makes the footer unambiguous without
+// requiring a seekable stream (gzip is not), and compresses to almost
+// nothing.
+//
+//	magic   [4]byte "FTUP"
+//	version uint8   (1)
+//	_       [3]byte reserved
+//	hour    uint32  hour index within the capture window
+//	_       uint32  reserved
+var fileMagic = [4]byte{'F', 'T', 'U', 'P'}
+
+const (
+	fileVersion   = 1
+	fileHeaderLen = 16
+
+	tagRecord byte = 0x01
+	tagFooter byte = 0x00
+)
+
+// ErrBadFormat indicates a corrupt, truncated, or foreign flowtuple file.
+var ErrBadFormat = errors.New("flowtuple: bad file format")
+
+// Header describes one hourly file.
+type Header struct {
+	Hour  uint32
+	Count uint32 // populated by Reader once the footer has been consumed
+}
+
+// Writer streams records into one hourly flowtuple file.
+type Writer struct {
+	f     *os.File
+	gz    *gzip.Writer
+	bw    *bufio.Writer
+	buf   []byte
+	count uint32
+	path  string
+}
+
+// Create opens path for writing an hourly file. The file is only valid
+// after a successful Close (which writes the footer).
+func Create(path string, hour uint32) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowtuple: create %s: %w", path, err)
+	}
+	w := &Writer{f: f, path: path}
+	w.gz = gzip.NewWriter(f)
+	w.bw = bufio.NewWriterSize(w.gz, 1<<16)
+	hdr := make([]byte, fileHeaderLen)
+	copy(hdr, fileMagic[:])
+	hdr[4] = fileVersion
+	binary.LittleEndian.PutUint32(hdr[8:], hour)
+	if _, err := w.bw.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	w.buf = append(w.buf[:0], tagRecord)
+	w.buf = AppendRecord(w.buf, r)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("flowtuple: write %s: %w", w.path, err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint32 { return w.count }
+
+// Close writes the footer and flushes the file.
+func (w *Writer) Close() error {
+	var footer [5]byte
+	footer[0] = tagFooter
+	binary.LittleEndian.PutUint32(footer[1:], w.count)
+	if _, err := w.bw.Write(footer[:]); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.gz.Close(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader iterates the records of one hourly file.
+type Reader struct {
+	f      *os.File
+	gz     *gzip.Reader
+	br     *bufio.Reader
+	header Header
+	read   uint32
+	buf    [RecordSize]byte
+	path   string
+}
+
+// Open opens an hourly file and validates its header.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowtuple: open %s: %w", path, err)
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flowtuple: %s: %w", path, ErrBadFormat)
+	}
+	r := &Reader{f: f, gz: gz, br: bufio.NewReaderSize(gz, 1<<16), path: path}
+	hdr := make([]byte, fileHeaderLen)
+	if _, err := io.ReadFull(r.br, hdr); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("flowtuple: %s: %w", path, ErrBadFormat)
+	}
+	if [4]byte(hdr[:4]) != fileMagic || hdr[4] != fileVersion {
+		r.Close()
+		return nil, fmt.Errorf("flowtuple: %s: %w", path, ErrBadFormat)
+	}
+	r.header.Hour = binary.LittleEndian.Uint32(hdr[8:])
+	return r, nil
+}
+
+// Header returns the file header. Count is only known after io.EOF.
+func (r *Reader) Header() Header { return r.header }
+
+// Next returns the next record, or io.EOF after the footer. Truncated or
+// corrupt files yield an error wrapping ErrBadFormat.
+func (r *Reader) Next() (Record, error) {
+	tag, err := r.br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("flowtuple: %s truncated: %w", r.path, ErrBadFormat)
+	}
+	switch tag {
+	case tagFooter:
+		var cnt [4]byte
+		if _, err := io.ReadFull(r.br, cnt[:]); err != nil {
+			return Record{}, fmt.Errorf("flowtuple: %s truncated footer: %w", r.path, ErrBadFormat)
+		}
+		count := binary.LittleEndian.Uint32(cnt[:])
+		if count != r.read {
+			return Record{}, fmt.Errorf("flowtuple: %s footer count %d, read %d: %w",
+				r.path, count, r.read, ErrBadFormat)
+		}
+		if _, err := r.br.ReadByte(); err != io.EOF {
+			return Record{}, fmt.Errorf("flowtuple: %s trailing data: %w", r.path, ErrBadFormat)
+		}
+		r.header.Count = count
+		return Record{}, io.EOF
+	case tagRecord:
+		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
+			return Record{}, fmt.Errorf("flowtuple: %s truncated record: %w", r.path, ErrBadFormat)
+		}
+		rec, err := DecodeRecord(r.buf[:])
+		if err != nil {
+			return Record{}, err
+		}
+		r.read++
+		return rec, nil
+	default:
+		return Record{}, fmt.Errorf("flowtuple: %s unknown frame tag %#02x: %w",
+			r.path, tag, ErrBadFormat)
+	}
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.gz != nil {
+		r.gz.Close()
+	}
+	return r.f.Close()
+}
+
+// HourPath returns the canonical file name for an hour within dir.
+func HourPath(dir string, hour int) string {
+	return filepath.Join(dir, fmt.Sprintf("hour-%03d.ft.gz", hour))
+}
+
+// DatasetHours lists the hour indices present in a dataset directory, in
+// ascending order.
+func DatasetHours(dir string) ([]int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "hour-*.ft.gz"))
+	if err != nil {
+		return nil, err
+	}
+	hours := make([]int, 0, len(matches))
+	for _, m := range matches {
+		var h int
+		if _, err := fmt.Sscanf(filepath.Base(m), "hour-%03d.ft.gz", &h); err == nil {
+			hours = append(hours, h)
+		}
+	}
+	sort.Ints(hours)
+	return hours, nil
+}
+
+// WalkHour opens the given hour file in dir and invokes fn for each record.
+func WalkHour(dir string, hour int, fn func(Record) error) error {
+	r, err := Open(HourPath(dir, hour))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}

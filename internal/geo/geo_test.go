@@ -1,0 +1,207 @@
+package geo
+
+import (
+	"testing"
+
+	"iotscope/internal/netx"
+	"iotscope/internal/rng"
+)
+
+func build(t *testing.T, seed uint64) *Registry {
+	t.Helper()
+	g, err := Build(DefaultConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := build(t, 42)
+	b := build(t, 42)
+	if len(a.ISPs) != len(b.ISPs) {
+		t.Fatalf("ISP counts differ: %d vs %d", len(a.ISPs), len(b.ISPs))
+	}
+	for i := range a.ISPs {
+		if a.ISPs[i] != b.ISPs[i] {
+			t.Fatalf("ISP %d differs: %+v vs %+v", i, a.ISPs[i], b.ISPs[i])
+		}
+		ap, bp := a.Prefixes(i), b.Prefixes(i)
+		for j := range ap {
+			if ap[j] != bp[j] {
+				t.Fatalf("prefix %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildSeedsDiffer(t *testing.T) {
+	a := build(t, 1)
+	b := build(t, 2)
+	same := 0
+	n := len(a.ISPs)
+	if len(b.ISPs) < n {
+		n = len(b.ISPs)
+	}
+	for i := 0; i < n; i++ {
+		if len(a.Prefixes(i)) > 0 && len(b.Prefixes(i)) > 0 && a.Prefixes(i)[0] == b.Prefixes(i)[0] {
+			same++
+		}
+	}
+	if same > n/10 {
+		t.Fatalf("%d/%d first prefixes identical across seeds", same, n)
+	}
+}
+
+func TestNamedISPsPresent(t *testing.T) {
+	g := build(t, 7)
+	for country, names := range namedISPs {
+		for _, name := range names {
+			idx := g.FindISP(name)
+			if idx < 0 {
+				t.Errorf("named ISP %q missing", name)
+				continue
+			}
+			if g.ISPs[idx].Country != country {
+				t.Errorf("ISP %q in country %q, want %q", name, g.ISPs[idx].Country, country)
+			}
+		}
+	}
+}
+
+func TestCountryCount(t *testing.T) {
+	g := build(t, 7)
+	want := len(namedCountries) + DefaultConfig().FillerCountries
+	if len(g.Countries) != want {
+		t.Fatalf("countries %d want %d", len(g.Countries), want)
+	}
+}
+
+func TestLookupConsistency(t *testing.T) {
+	g := build(t, 11)
+	r := rng.New(5)
+	for i := range g.ISPs {
+		for trial := 0; trial < 3; trial++ {
+			a := g.RandomAddr(r, i)
+			info, ok := g.Lookup(a)
+			if !ok {
+				t.Fatalf("address %v from ISP %d not found", a, i)
+			}
+			if info.ISP != i {
+				t.Fatalf("address %v resolved to ISP %d want %d", a, info.ISP, i)
+			}
+			if info.Country != g.ISPs[i].Country {
+				t.Fatalf("address %v resolved to country %q want %q",
+					a, info.Country, g.ISPs[i].Country)
+			}
+		}
+	}
+}
+
+func TestDarknetExcluded(t *testing.T) {
+	g := build(t, 13)
+	dark := DefaultConfig().DarkPrefix
+	for i := range g.ISPs {
+		for _, p := range g.Prefixes(i) {
+			if p.Overlaps(dark) {
+				t.Fatalf("ISP %d prefix %v overlaps darknet %v", i, p, dark)
+			}
+		}
+	}
+	if _, ok := g.Lookup(netx.MustParseAddr("44.1.2.3")); ok {
+		t.Fatal("darknet address resolved to an operator")
+	}
+}
+
+func TestPrefixesDisjoint(t *testing.T) {
+	g := build(t, 17)
+	seen := make(map[netx.Prefix]int)
+	for i := range g.ISPs {
+		for _, p := range g.Prefixes(i) {
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("prefix %v allocated to ISPs %d and %d", p, prev, i)
+			}
+			seen[p] = i
+		}
+	}
+}
+
+func TestISPsIn(t *testing.T) {
+	g := build(t, 19)
+	for _, code := range []string{"US", "RU", "CN"} {
+		isps := g.ISPsIn(code)
+		if len(isps) < DefaultConfig().ISPsPerCountryMin {
+			t.Errorf("country %s has %d ISPs", code, len(isps))
+		}
+		for _, i := range isps {
+			if g.ISPs[i].Country != code {
+				t.Errorf("ISPsIn(%s) returned ISP of %s", code, g.ISPs[i].Country)
+			}
+		}
+	}
+	if got := g.ISPsIn("ZZ"); got != nil {
+		t.Errorf("unknown country returned %v", got)
+	}
+}
+
+func TestCountryName(t *testing.T) {
+	g := build(t, 23)
+	if got := g.CountryName("US"); got != "United States" {
+		t.Errorf("CountryName(US) = %q", got)
+	}
+	if got := g.CountryName("??"); got != "??" {
+		t.Errorf("unknown code = %q", got)
+	}
+}
+
+func TestNamedCountryCodes(t *testing.T) {
+	codes := NamedCountryCodes()
+	if len(codes) != len(namedCountries) || codes[0] != "US" {
+		t.Fatalf("codes %v", codes)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.PrefixBits = 30
+	if _, err := Build(bad, 1); err == nil {
+		t.Error("prefix bits 30 accepted")
+	}
+	bad = DefaultConfig()
+	bad.ISPsPerCountryMin = 0
+	if _, err := Build(bad, 1); err == nil {
+		t.Error("min 0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.PrefixesPerISP = 0
+	if _, err := Build(bad, 1); err == nil {
+		t.Error("0 prefixes per ISP accepted")
+	}
+}
+
+func TestASNsUnique(t *testing.T) {
+	g := build(t, 29)
+	seen := make(map[uint32]bool)
+	for _, isp := range g.ISPs {
+		if seen[isp.ASN] {
+			t.Fatalf("duplicate ASN %d", isp.ASN)
+		}
+		seen[isp.ASN] = true
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	g, err := Build(DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	addrs := make([]netx.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = g.RandomAddr(r, r.Intn(len(g.ISPs)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Lookup(addrs[i&1023])
+	}
+}

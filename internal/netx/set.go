@@ -1,0 +1,92 @@
+package netx
+
+import "sort"
+
+// Set is a mutable set of IPv4 addresses. The characterization pipeline uses
+// sets to count unique destinations and unique sources per hour; at full
+// telescope scale the approximate counters in internal/sketch take over, and
+// Set remains the exact reference implementation.
+type Set struct {
+	m map[Addr]struct{}
+}
+
+// NewSet returns an empty set with room for hint addresses.
+func NewSet(hint int) *Set {
+	return &Set{m: make(map[Addr]struct{}, hint)}
+}
+
+// Add inserts a, reporting whether it was newly added.
+func (s *Set) Add(a Addr) bool {
+	if _, dup := s.m[a]; dup {
+		return false
+	}
+	s.m[a] = struct{}{}
+	return true
+}
+
+// Contains reports membership.
+func (s *Set) Contains(a Addr) bool {
+	_, ok := s.m[a]
+	return ok
+}
+
+// Remove deletes a, reporting whether it was present.
+func (s *Set) Remove(a Addr) bool {
+	if _, ok := s.m[a]; !ok {
+		return false
+	}
+	delete(s.m, a)
+	return true
+}
+
+// Len returns the number of addresses in the set.
+func (s *Set) Len() int { return len(s.m) }
+
+// Addrs returns the members in ascending order.
+func (s *Set) Addrs() []Addr {
+	out := make([]Addr, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Freeze returns an immutable, memory-compact snapshot of the set.
+func (s *Set) Freeze() FrozenSet {
+	return FrozenSet{addrs: s.Addrs()}
+}
+
+// FrozenSet is an immutable sorted-slice address set: half the memory of a
+// map and cache-friendly for the read-only membership tests the correlator
+// performs per tuple.
+type FrozenSet struct {
+	addrs []Addr
+}
+
+// NewFrozenSet builds a frozen set from addrs (copied, deduplicated).
+func NewFrozenSet(addrs []Addr) FrozenSet {
+	dup := make([]Addr, len(addrs))
+	copy(dup, addrs)
+	sort.Slice(dup, func(i, j int) bool { return dup[i] < dup[j] })
+	out := dup[:0]
+	for i, a := range dup {
+		if i == 0 || a != dup[i-1] {
+			out = append(out, a)
+		}
+	}
+	return FrozenSet{addrs: out}
+}
+
+// Contains reports membership via binary search.
+func (f FrozenSet) Contains(a Addr) bool {
+	i := sort.Search(len(f.addrs), func(i int) bool { return f.addrs[i] >= a })
+	return i < len(f.addrs) && f.addrs[i] == a
+}
+
+// Len returns the number of addresses.
+func (f FrozenSet) Len() int { return len(f.addrs) }
+
+// Addrs returns the members in ascending order. The returned slice is shared;
+// callers must not modify it.
+func (f FrozenSet) Addrs() []Addr { return f.addrs }

@@ -1,0 +1,118 @@
+package netx
+
+import (
+	"testing"
+
+	"iotscope/internal/rng"
+)
+
+func TestSetAddContainsRemove(t *testing.T) {
+	s := NewSet(0)
+	a := MustParseAddr("192.0.2.1")
+	if s.Contains(a) {
+		t.Fatal("empty set contains")
+	}
+	if !s.Add(a) {
+		t.Fatal("first add not new")
+	}
+	if s.Add(a) {
+		t.Fatal("duplicate add reported new")
+	}
+	if !s.Contains(a) || s.Len() != 1 {
+		t.Fatal("membership after add wrong")
+	}
+	if !s.Remove(a) {
+		t.Fatal("remove existing failed")
+	}
+	if s.Remove(a) {
+		t.Fatal("double remove succeeded")
+	}
+	if s.Contains(a) || s.Len() != 0 {
+		t.Fatal("membership after remove wrong")
+	}
+}
+
+func TestSetAddrsSorted(t *testing.T) {
+	s := NewSet(4)
+	for _, a := range []string{"10.0.0.3", "10.0.0.1", "10.0.0.2"} {
+		s.Add(MustParseAddr(a))
+	}
+	addrs := s.Addrs()
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i-1] >= addrs[i] {
+			t.Fatalf("Addrs not strictly sorted: %v", addrs)
+		}
+	}
+}
+
+func TestFrozenSetDedup(t *testing.T) {
+	f := NewFrozenSet([]Addr{5, 3, 5, 1, 3})
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for _, a := range []Addr{1, 3, 5} {
+		if !f.Contains(a) {
+			t.Errorf("missing %d", a)
+		}
+	}
+	for _, a := range []Addr{0, 2, 4, 6} {
+		if f.Contains(a) {
+			t.Errorf("spurious %d", a)
+		}
+	}
+}
+
+func TestFrozenSetDoesNotAliasInput(t *testing.T) {
+	in := []Addr{9, 8, 7}
+	f := NewFrozenSet(in)
+	in[0] = 1
+	if !f.Contains(9) {
+		t.Fatal("frozen set aliased caller slice")
+	}
+}
+
+func TestFreezeMatchesSet(t *testing.T) {
+	r := rng.New(3)
+	s := NewSet(0)
+	for i := 0; i < 2000; i++ {
+		s.Add(Addr(r.Uint32() % 5000))
+	}
+	f := s.Freeze()
+	if f.Len() != s.Len() {
+		t.Fatalf("frozen len %d != %d", f.Len(), s.Len())
+	}
+	for probe := Addr(0); probe < 5000; probe++ {
+		if f.Contains(probe) != s.Contains(probe) {
+			t.Fatalf("divergence at %d", probe)
+		}
+	}
+}
+
+func TestEmptyFrozenSet(t *testing.T) {
+	f := NewFrozenSet(nil)
+	if f.Len() != 0 || f.Contains(0) {
+		t.Fatal("empty frozen set misbehaves")
+	}
+}
+
+func BenchmarkFrozenSetContains(b *testing.B) {
+	r := rng.New(1)
+	addrs := make([]Addr, 100000)
+	for i := range addrs {
+		addrs[i] = Addr(r.Uint32())
+	}
+	f := NewFrozenSet(addrs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkSetAdd(b *testing.B) {
+	r := rng.New(1)
+	s := NewSet(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(Addr(r.Uint32()))
+	}
+}

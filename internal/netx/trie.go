@@ -1,0 +1,118 @@
+package netx
+
+// Trie is a binary radix trie mapping CIDR prefixes to values with
+// longest-prefix-match lookup. It backs the synthetic Internet registry
+// (IP -> country/ISP) and the inventory prefix index; a lookup walks at most
+// 32 nodes and allocates nothing.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	value V
+	set   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V any]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert associates value with prefix, replacing any existing value for the
+// exact same prefix. It reports whether the prefix was newly inserted.
+func (t *Trie[V]) Insert(p Prefix, value V) bool {
+	n := t.root
+	a := uint32(p.Addr())
+	for depth := 0; depth < p.Bits(); depth++ {
+		bit := a >> uint(31-depth) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &trieNode[V]{}
+		}
+		n = n.child[bit]
+	}
+	isNew := !n.set
+	n.value, n.set = value, true
+	if isNew {
+		t.size++
+	}
+	return isNew
+}
+
+// Lookup returns the value of the longest prefix containing a.
+func (t *Trie[V]) Lookup(a Addr) (value V, ok bool) {
+	n := t.root
+	u := uint32(a)
+	for depth := 0; ; depth++ {
+		if n.set {
+			value, ok = n.value, true
+		}
+		if depth == 32 {
+			return value, ok
+		}
+		n = n.child[u>>uint(31-depth)&1]
+		if n == nil {
+			return value, ok
+		}
+	}
+}
+
+// Get returns the value stored for exactly prefix p.
+func (t *Trie[V]) Get(p Prefix) (value V, ok bool) {
+	n := t.root
+	a := uint32(p.Addr())
+	for depth := 0; depth < p.Bits(); depth++ {
+		n = n.child[a>>uint(31-depth)&1]
+		if n == nil {
+			return value, false
+		}
+	}
+	return n.value, n.set
+}
+
+// Delete removes the exact prefix p, reporting whether it was present.
+// Interior nodes are left in place; at registry scale (thousands of
+// prefixes, deletions rare) compaction is not worth the bookkeeping.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.root
+	a := uint32(p.Addr())
+	for depth := 0; depth < p.Bits(); depth++ {
+		n = n.child[a>>uint(31-depth)&1]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.value, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Walk visits every stored (prefix, value) pair in address order, stopping
+// early if fn returns false.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	t.walk(t.root, 0, 0, fn)
+}
+
+func (t *Trie[V]) walk(n *trieNode[V], addr uint32, depth int, fn func(Prefix, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set && !fn(NewPrefix(Addr(addr), depth), n.value) {
+		return false
+	}
+	if depth == 32 {
+		return true
+	}
+	if !t.walk(n.child[0], addr, depth+1, fn) {
+		return false
+	}
+	return t.walk(n.child[1], addr|1<<uint(31-depth), depth+1, fn)
+}

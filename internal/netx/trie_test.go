@@ -1,0 +1,197 @@
+package netx
+
+import (
+	"testing"
+
+	"iotscope/internal/rng"
+)
+
+func TestTrieBasic(t *testing.T) {
+	tr := NewTrie[string]()
+	if tr.Len() != 0 {
+		t.Fatal("new trie not empty")
+	}
+	if !tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten") {
+		t.Fatal("first insert not new")
+	}
+	if tr.Insert(MustParsePrefix("10.0.0.0/8"), "ten2") {
+		t.Fatal("re-insert reported new")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Lookup(MustParseAddr("10.1.2.3"))
+	if !ok || v != "ten2" {
+		t.Fatalf("Lookup = %q, %v", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParseAddr("11.0.0.0")); ok {
+		t.Fatal("lookup outside prefix matched")
+	}
+}
+
+func TestTrieLongestPrefixWins(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), "coarse")
+	tr.Insert(MustParsePrefix("10.20.0.0/16"), "mid")
+	tr.Insert(MustParsePrefix("10.20.30.0/24"), "fine")
+
+	tests := []struct {
+		addr string
+		want string
+	}{
+		{"10.20.30.40", "fine"},
+		{"10.20.99.1", "mid"},
+		{"10.99.0.1", "coarse"},
+	}
+	for _, tc := range tests {
+		v, ok := tr.Lookup(MustParseAddr(tc.addr))
+		if !ok || v != tc.want {
+			t.Errorf("Lookup(%s) = %q, %v want %q", tc.addr, v, ok, tc.want)
+		}
+	}
+}
+
+func TestTrieDefaultRoute(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), 1)
+	tr.Insert(MustParsePrefix("203.0.113.0/24"), 2)
+	if v, _ := tr.Lookup(MustParseAddr("8.8.8.8")); v != 1 {
+		t.Errorf("default route lookup = %d", v)
+	}
+	if v, _ := tr.Lookup(MustParseAddr("203.0.113.9")); v != 2 {
+		t.Errorf("specific lookup = %d", v)
+	}
+}
+
+func TestTrieHostRoute(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("192.0.2.7/32"), 7)
+	if v, ok := tr.Lookup(MustParseAddr("192.0.2.7")); !ok || v != 7 {
+		t.Fatalf("host route lookup = %d, %v", v, ok)
+	}
+	if _, ok := tr.Lookup(MustParseAddr("192.0.2.8")); ok {
+		t.Fatal("adjacent address matched host route")
+	}
+}
+
+func TestTrieGetExact(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(MustParsePrefix("10.0.0.0/16"), 16)
+	if v, ok := tr.Get(MustParsePrefix("10.0.0.0/8")); !ok || v != 8 {
+		t.Errorf("Get /8 = %d, %v", v, ok)
+	}
+	if v, ok := tr.Get(MustParsePrefix("10.0.0.0/16")); !ok || v != 16 {
+		t.Errorf("Get /16 = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/12")); ok {
+		t.Error("Get on absent intermediate prefix matched")
+	}
+}
+
+func TestTrieDelete(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(MustParsePrefix("10.20.0.0/16"), 16)
+	if !tr.Delete(MustParsePrefix("10.20.0.0/16")) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete(MustParsePrefix("10.20.0.0/16")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	// Lookup now falls back to the /8.
+	if v, ok := tr.Lookup(MustParseAddr("10.20.1.1")); !ok || v != 8 {
+		t.Fatalf("fallback lookup = %d, %v", v, ok)
+	}
+}
+
+func TestTrieWalkOrderAndEarlyStop(t *testing.T) {
+	tr := NewTrie[int]()
+	for i, p := range []string{"10.0.0.0/8", "9.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"} {
+		tr.Insert(MustParsePrefix(p), i)
+	}
+	var got []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v want %v", got, want)
+		}
+	}
+	count := 0
+	tr.Walk(func(Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// Property: trie LPM agrees with a brute-force scan over the prefix list.
+func TestTrieMatchesBruteForce(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		tr := NewTrie[int]()
+		type entry struct {
+			p Prefix
+			v int
+		}
+		var entries []entry
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			p := NewPrefix(Addr(r.Uint32()), r.Intn(33))
+			if _, dup := tr.Get(p); dup {
+				continue
+			}
+			tr.Insert(p, i)
+			entries = append(entries, entry{p, i})
+		}
+		for probe := 0; probe < 500; probe++ {
+			var a Addr
+			if r.Bool(0.5) && len(entries) > 0 {
+				// Bias probes into stored prefixes so matches are exercised.
+				e := entries[r.Intn(len(entries))]
+				a = e.p.Nth(r.Uint64n(e.p.NumAddrs()))
+			} else {
+				a = Addr(r.Uint32())
+			}
+			bestBits, bestVal, found := -1, 0, false
+			for _, e := range entries {
+				if e.p.Contains(a) && e.p.Bits() > bestBits {
+					bestBits, bestVal, found = e.p.Bits(), e.v, true
+				}
+			}
+			v, ok := tr.Lookup(a)
+			if ok != found || (ok && v != bestVal) {
+				t.Fatalf("trial %d: Lookup(%v) = (%d,%v) want (%d,%v)",
+					trial, a, v, ok, bestVal, found)
+			}
+		}
+	}
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	r := rng.New(1)
+	tr := NewTrie[int]()
+	for i := 0; i < 5000; i++ {
+		tr.Insert(NewPrefix(Addr(r.Uint32()), 8+r.Intn(17)), i)
+	}
+	addrs := make([]Addr, 1024)
+	for i := range addrs {
+		addrs[i] = Addr(r.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i&1023])
+	}
+}

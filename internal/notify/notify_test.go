@@ -1,0 +1,149 @@
+package notify
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"iotscope/internal/correlate"
+	"iotscope/internal/netx"
+	"iotscope/internal/threatintel"
+	"iotscope/internal/wgen"
+)
+
+func buildWorld(t *testing.T) (*wgen.Generator, *correlate.Result, *threatintel.Repository) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "notify-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sc := wgen.Default(0.004, 909)
+	sc.Hours = 24
+	g, err := wgen.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small noise pool for the intel generator.
+	pool := noise(g, 50)
+	repo, err := threatintel.Generate(threatintel.DefaultGenConfig(), g.Truth(), g.Inventory(), pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res, repo
+}
+
+func noise(g *wgen.Generator, n int) (out []netx.Addr) {
+	for i := 0; len(out) < n; i++ {
+		a := netx.Addr(0x63000001 + i*977)
+		if _, isIoT := g.Inventory().LookupIP(a); !isIoT {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestBuildBundles(t *testing.T) {
+	g, res, repo := buildWorld(t)
+	bundles := Build(res, g.Inventory(), g.Registry(), repo, DefaultConfig())
+	if len(bundles) == 0 {
+		t.Fatal("no bundles")
+	}
+	// Every inferred device appears in exactly one bundle.
+	seen := make(map[int]int)
+	var pkts uint64
+	for _, b := range bundles {
+		if b.ISP == "" || b.ASN == 0 || b.Country == "" {
+			t.Fatalf("bundle missing operator metadata: %+v", b)
+		}
+		for _, d := range b.Devices {
+			seen[d.Device]++
+			if len(d.Behaviours) == 0 {
+				t.Fatalf("device %d with no behaviours", d.Device)
+			}
+		}
+		pkts += b.Packets
+	}
+	if len(seen) != len(res.Devices) {
+		t.Fatalf("bundled %d devices, inferred %d", len(seen), len(res.Devices))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("device %d in %d bundles", id, n)
+		}
+	}
+	if pkts != res.TotalIoTPackets() {
+		t.Fatalf("bundle packets %d != total %d", pkts, res.TotalIoTPackets())
+	}
+	// Sorted by device count descending.
+	for i := 1; i < len(bundles); i++ {
+		if len(bundles[i].Devices) > len(bundles[i-1].Devices) {
+			t.Fatal("bundles not sorted")
+		}
+	}
+}
+
+func TestBuildFilters(t *testing.T) {
+	g, res, _ := buildWorld(t)
+	cfg := Config{MinDevices: 3, MinPackets: 1}
+	bundles := Build(res, g.Inventory(), g.Registry(), nil, cfg)
+	for _, b := range bundles {
+		if len(b.Devices) < 3 {
+			t.Fatalf("bundle below MinDevices: %+v", b)
+		}
+	}
+	// High packet floor drops low-volume devices.
+	cfg = Config{MinDevices: 1, MinPackets: 1 << 40}
+	if got := Build(res, g.Inventory(), g.Registry(), nil, cfg); len(got) != 0 {
+		t.Fatalf("packet floor ignored: %d bundles", len(got))
+	}
+}
+
+func TestThreatCorroboration(t *testing.T) {
+	g, res, repo := buildWorld(t)
+	bundles := Build(res, g.Inventory(), g.Registry(), repo, DefaultConfig())
+	flagged := 0
+	for _, b := range bundles {
+		for _, d := range b.Devices {
+			flagged += len(d.ThreatFlags)
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no threat corroboration despite a populated repository")
+	}
+	// Without a repository there are no flags.
+	bundles = Build(res, g.Inventory(), g.Registry(), nil, DefaultConfig())
+	for _, b := range bundles {
+		for _, d := range b.Devices {
+			if len(d.ThreatFlags) != 0 {
+				t.Fatal("flags without repository")
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	g, res, repo := buildWorld(t)
+	bundles := Build(res, g.Inventory(), g.Registry(), repo, DefaultConfig())
+	var buf bytes.Buffer
+	if err := bundles[0].Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"To: abuse contact", bundles[0].ISP, "compromised IoT device",
+		"first seen hour", "remediate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}

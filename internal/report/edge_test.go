@@ -1,0 +1,79 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableEmptyRows(t *testing.T) {
+	tbl := Table{Title: "empty", Headers: []string{"a", "b"}}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a  b") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Rows wider than the header set must not panic and must render.
+	tbl := Table{Headers: []string{"only"}}
+	tbl.AddRow("x")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestSparklineSingleValue(t *testing.T) {
+	s := Sparkline([]float64{42}, 10)
+	if len([]rune(s)) != 1 {
+		t.Fatalf("single-point sparkline %q", s)
+	}
+}
+
+func TestSparklineNegativeWidth(t *testing.T) {
+	if got := Sparkline([]float64{1, 2}, 0); got != "" {
+		t.Fatalf("zero width produced %q", got)
+	}
+}
+
+func TestCommaBoundaries(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want string
+	}{
+		{9, "9"}, {99, "99"}, {100, "100"}, {1001, "1,001"},
+		{10000, "10,000"}, {100000, "100,000"}, {1000000, "1,000,000"},
+		{18446744073709551615, "18,446,744,073,709,551,615"},
+	}
+	for _, tc := range tests {
+		if got := Comma(tc.in); got != tc.want {
+			t.Errorf("Comma(%d) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSeriesLargeDownsample(t *testing.T) {
+	series := make([]float64, 10000)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := Series(&buf, "big", series, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "max=9,999") {
+		t.Fatalf("stats wrong: %q", out)
+	}
+	// One line only.
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("multi-line series: %q", out)
+	}
+}

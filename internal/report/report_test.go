@@ -1,0 +1,162 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"iotscope/internal/core"
+)
+
+func TestComma(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0"}, {7, "7"}, {999, "999"}, {1000, "1,000"},
+		{26881, "26,881"}, {141300000, "141,300,000"},
+	}
+	for _, tc := range tests {
+		if got := Comma(tc.in); got != tc.want {
+			t.Errorf("Comma(%d) = %q want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := CommaInt(-1234); got != "-1,234" {
+		t.Errorf("CommaInt(-1234) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(52.44); got != "52.4%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "T",
+		Headers: []string{"a", "bb"},
+		Footer:  "footer",
+	}
+	tbl.AddRow("xxx", "1")
+	tbl.AddRow("y", "22")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T\n", "a    bb", "xxx  1", "y    22", "footer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty sparkline %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3}, 4)
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline endpoints %q", s)
+	}
+	// Downsampling preserves spikes (column max).
+	series := make([]float64, 100)
+	series[50] = 100
+	wide := []rune(Sparkline(series, 10))
+	found := false
+	for _, r := range wide {
+		if r == '█' {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spike lost in downsampling")
+	}
+	// Constant series renders at the floor.
+	flat := Sparkline([]float64{5, 5, 5}, 3)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series %q", flat)
+		}
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Series(&buf, "name", []float64{1, 2, 3}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "min=1 mean=2 max=3") {
+		t.Errorf("series stats missing: %q", buf.String())
+	}
+	buf.Reset()
+	if err := Series(&buf, "empty", nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty)") {
+		t.Errorf("empty series: %q", buf.String())
+	}
+}
+
+var (
+	rptOnce sync.Once
+	rptErr  error
+	rptDS   *core.Dataset
+	rptRes  *core.Results
+)
+
+func loadFixture(t *testing.T) (*core.Dataset, *core.Results) {
+	t.Helper()
+	rptOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "report-*")
+		if err != nil {
+			rptErr = err
+			return
+		}
+		cfg := core.DefaultConfig(0.003, 99)
+		cfg.Hours = 48
+		rptDS, rptErr = core.Generate(cfg, dir)
+		if rptErr != nil {
+			return
+		}
+		rptRes, rptErr = rptDS.Analyze(cfg)
+	})
+	if rptErr != nil {
+		t.Fatal(rptErr)
+	}
+	return rptDS, rptRes
+}
+
+func TestWriteAll(t *testing.T) {
+	ds, res := loadFixture(t)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, res, ds); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantSections := []string{
+		"Headline inference",
+		"Fig. 1a", "Fig. 1b", "Fig. 2", "Fig. 3",
+		"Table I ", "Table II ", "Table III",
+		"Fig. 4", "Fig. 5", "Table IV", "Fig. 6", "Fig. 7",
+		"Fig. 8a", "Fig. 8b", "Fig. 9", "Table V ", "Fig. 10",
+		"Fig. 11", "Table VI", "Table VII",
+		"Mann-Whitney", "Pearson",
+		"Telnet", "JSC ER-Telecom",
+	}
+	for _, want := range wantSections {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 3000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}

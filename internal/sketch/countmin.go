@@ -1,0 +1,68 @@
+package sketch
+
+import "errors"
+
+// CountMin is a Count-Min sketch: a fixed-memory frequency table with
+// one-sided (over-)estimation error. The analysis layer uses it to keep
+// per-port packet counters when the port space (65 536 ports x protocols x
+// hours) would otherwise dominate memory.
+type CountMin struct {
+	rows  [][]uint64
+	width uint64
+	seeds []uint64
+}
+
+// NewCountMin returns a sketch with depth hash rows of the given width.
+// Error is roughly 2*N/width with probability 1 - 2^-depth for N insertions.
+func NewCountMin(depth, width int) (*CountMin, error) {
+	if depth < 1 || width < 1 {
+		return nil, errors.New("sketch: CountMin needs depth >= 1 and width >= 1")
+	}
+	rows := make([][]uint64, depth)
+	seeds := make([]uint64, depth)
+	for i := range rows {
+		rows[i] = make([]uint64, width)
+		seeds[i] = Hash64(uint64(i) + 0x51ed270b)
+	}
+	return &CountMin{rows: rows, width: uint64(width), seeds: seeds}, nil
+}
+
+// Add increments key's counter by delta.
+func (c *CountMin) Add(key uint64, delta uint64) {
+	for i, row := range c.rows {
+		row[Hash64(key^c.seeds[i])%c.width] += delta
+	}
+}
+
+// Count returns an upper-bound estimate of the total delta added for key.
+func (c *CountMin) Count(key uint64) uint64 {
+	min := ^uint64(0)
+	for i, row := range c.rows {
+		if v := row[Hash64(key^c.seeds[i])%c.width]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Merge folds other into c. Dimensions must match.
+func (c *CountMin) Merge(other *CountMin) error {
+	if len(c.rows) != len(other.rows) || c.width != other.width {
+		return errors.New("sketch: cannot merge CountMin of different shape")
+	}
+	for i := range c.rows {
+		for j := range c.rows[i] {
+			c.rows[i][j] += other.rows[i][j]
+		}
+	}
+	return nil
+}
+
+// Reset clears all counters.
+func (c *CountMin) Reset() {
+	for _, row := range c.rows {
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LogHistogram bins positive values into decade-spaced buckets, matching the
+// paper's Fig. 6/11 presentation (CDF over 0.001K..10000K packets on a log
+// axis).
+type LogHistogram struct {
+	// Edges are bucket upper bounds; counts[i] holds values in
+	// (edges[i-1], edges[i]] with counts[0] covering (0, edges[0]].
+	Edges  []float64
+	Counts []int
+	total  int
+}
+
+// NewLogHistogram builds decade buckets from 10^loExp to 10^hiExp inclusive.
+func NewLogHistogram(loExp, hiExp int) *LogHistogram {
+	if hiExp < loExp {
+		loExp, hiExp = hiExp, loExp
+	}
+	n := hiExp - loExp + 1
+	edges := make([]float64, n)
+	for i := range edges {
+		edges[i] = math.Pow(10, float64(loExp+i))
+	}
+	return &LogHistogram{Edges: edges, Counts: make([]int, n+1)}
+}
+
+// Observe records a value. Values above the top edge land in the overflow
+// bucket (index len(Edges)); non-positive values count in bucket 0.
+func (h *LogHistogram) Observe(v float64) {
+	h.total++
+	i := sort.SearchFloat64s(h.Edges, v)
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *LogHistogram) Total() int { return h.total }
+
+// CumFraction returns the fraction of observations at or below each edge:
+// one value per edge, the paper's CDF-over-log-bins series.
+func (h *LogHistogram) CumFraction() []float64 {
+	out := make([]float64, len(h.Edges))
+	cum := 0
+	for i := range h.Edges {
+		cum += h.Counts[i]
+		if h.total > 0 {
+			out[i] = float64(cum) / float64(h.total)
+		}
+	}
+	return out
+}
+
+// TopK maintains the k largest items by weight using a min-heap — the
+// structure behind every "Top N ports/ISPs/countries" table. Ties are broken
+// by key order so results are deterministic.
+type TopK struct {
+	k     int
+	items []WeightedItem
+}
+
+// WeightedItem is a keyed weight for TopK and tables.
+type WeightedItem struct {
+	Key    string
+	Weight float64
+}
+
+// NewTopK returns a collector for the k heaviest items.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, items: make([]WeightedItem, 0, k)}
+}
+
+func (t *TopK) less(i, j int) bool {
+	if t.items[i].Weight != t.items[j].Weight {
+		return t.items[i].Weight < t.items[j].Weight
+	}
+	// Inverted key order so the lexically larger key is "smaller" and gets
+	// evicted first, keeping the lexically smallest among equal weights.
+	return t.items[i].Key > t.items[j].Key
+}
+
+// Offer considers an item for inclusion.
+func (t *TopK) Offer(key string, weight float64) {
+	if len(t.items) < t.k {
+		t.items = append(t.items, WeightedItem{key, weight})
+		t.up(len(t.items) - 1)
+		return
+	}
+	root := WeightedItem{key, weight}
+	if t.items[0].Weight > weight ||
+		(t.items[0].Weight == weight && t.items[0].Key < key) {
+		return
+	}
+	t.items[0] = root
+	t.down(0)
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.less(i, parent) {
+			return
+		}
+		t.items[i], t.items[parent] = t.items[parent], t.items[i]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && t.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && t.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.items[i], t.items[smallest] = t.items[smallest], t.items[i]
+		i = smallest
+	}
+}
+
+// Items returns the collected items sorted by descending weight (ties by
+// ascending key). The collector remains usable afterwards.
+func (t *TopK) Items() []WeightedItem {
+	out := append([]WeightedItem(nil), t.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

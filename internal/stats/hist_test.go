@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+
+	"iotscope/internal/rng"
+)
+
+func TestLogHistogramBuckets(t *testing.T) {
+	h := NewLogHistogram(0, 3) // edges 1, 10, 100, 1000
+	if len(h.Edges) != 4 || len(h.Counts) != 5 {
+		t.Fatalf("edges %v counts %d", h.Edges, len(h.Counts))
+	}
+	h.Observe(0.5)  // bucket 0 (<= 1)
+	h.Observe(1)    // bucket 0 (<= 1)
+	h.Observe(5)    // bucket 1
+	h.Observe(10)   // bucket 1
+	h.Observe(999)  // bucket 3
+	h.Observe(5000) // overflow bucket 4
+	want := []int{2, 2, 0, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d want %d (all %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestLogHistogramSwappedExponents(t *testing.T) {
+	h := NewLogHistogram(3, 0)
+	if len(h.Edges) != 4 || h.Edges[0] != 1 {
+		t.Fatalf("edges %v", h.Edges)
+	}
+}
+
+func TestLogHistogramCumFraction(t *testing.T) {
+	h := NewLogHistogram(0, 2)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	cf := h.CumFraction()
+	want := []float64{0.25, 0.5, 0.75}
+	for i, w := range want {
+		if cf[i] != w {
+			t.Errorf("CumFraction[%d] = %v want %v", i, cf[i], w)
+		}
+	}
+	// Monotone.
+	for i := 1; i < len(cf); i++ {
+		if cf[i] < cf[i-1] {
+			t.Fatal("CumFraction not monotone")
+		}
+	}
+}
+
+func TestLogHistogramEmptyCumFraction(t *testing.T) {
+	h := NewLogHistogram(0, 2)
+	for _, v := range h.CumFraction() {
+		if v != 0 {
+			t.Fatal("empty histogram fraction non-zero")
+		}
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(3)
+	tk.Offer("a", 1)
+	tk.Offer("b", 5)
+	tk.Offer("c", 3)
+	tk.Offer("d", 4)
+	tk.Offer("e", 2)
+	items := tk.Items()
+	if len(items) != 3 {
+		t.Fatalf("got %d items", len(items))
+	}
+	wantKeys := []string{"b", "d", "c"}
+	for i, w := range wantKeys {
+		if items[i].Key != w {
+			t.Errorf("rank %d = %q want %q (items %v)", i, items[i].Key, w, items)
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Offer("x", 1)
+	tk.Offer("y", 2)
+	items := tk.Items()
+	if len(items) != 2 || items[0].Key != "y" {
+		t.Fatalf("items %v", items)
+	}
+}
+
+func TestTopKTiesDeterministic(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Offer("zeta", 5)
+	tk.Offer("alpha", 5)
+	tk.Offer("mid", 5)
+	items := tk.Items()
+	if items[0].Key != "alpha" || items[1].Key != "mid" {
+		t.Fatalf("tie break wrong: %v", items)
+	}
+}
+
+func TestTopKMinimumOne(t *testing.T) {
+	tk := NewTopK(0)
+	tk.Offer("only", 1)
+	if len(tk.Items()) != 1 {
+		t.Fatal("k<1 not clamped to 1")
+	}
+}
+
+// Property: TopK matches sort-then-truncate on random input.
+func TestTopKMatchesSort(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(300)
+		k := 1 + r.Intn(20)
+		tk := NewTopK(k)
+		items := make([]WeightedItem, n)
+		for i := range items {
+			items[i] = WeightedItem{
+				Key:    string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)),
+				Weight: float64(r.Intn(50)),
+			}
+			tk.Offer(items[i].Key, items[i].Weight)
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Weight != items[j].Weight {
+				return items[i].Weight > items[j].Weight
+			}
+			return items[i].Key < items[j].Key
+		})
+		want := items
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Items()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkTopKOffer(b *testing.B) {
+	r := rng.New(1)
+	tk := NewTopK(15)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = "key" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Offer(keys[i&1023], float64(r.Intn(1000)))
+	}
+}

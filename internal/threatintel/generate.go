@@ -1,0 +1,150 @@
+package threatintel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iotscope/internal/devicedb"
+	"iotscope/internal/netx"
+	"iotscope/internal/rng"
+	"iotscope/internal/wgen"
+)
+
+// GenConfig shapes the synthetic intel feed.
+type GenConfig struct {
+	// FlagFraction is the fraction of compromised devices that appear in
+	// the repository (the paper correlates 816 of 8,839 explored, ~9.2 %,
+	// against a population of 26,881 -> ~3 % base with heavy bias toward
+	// loud devices).
+	FlagFraction float64
+	// ActivityBias skews flagging toward high-activity devices: the flag
+	// probability is proportional to weight^ActivityBias.
+	ActivityBias float64
+	// CategoryShares gives, per category, the fraction of flagged devices
+	// carrying that flag (Table VI; not mutually exclusive; Scanning is
+	// treated as the anchor flag).
+	CategoryShares map[Category]float64
+	// NoiseIPs adds flagged IPs outside the inventory (real repositories
+	// are dominated by non-IoT infrastructure).
+	NoiseIPs int
+	// EventsPerFlag bounds how many events a flag expands to.
+	EventsPerFlagMin int
+	EventsPerFlagMax int
+	// Days is the intel observation window in days.
+	Days int
+}
+
+// DefaultGenConfig mirrors Sec. V-A/Table VI.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		FlagFraction: 0.055,
+		ActivityBias: 0.6,
+		CategoryShares: map[Category]float64{
+			Scanning:      0.963,
+			Miscellaneous: 0.703,
+			BruteForce:    0.309,
+			Spam:          0.278,
+			Malware:       0.143,
+			Phishing:      0.006,
+		},
+		NoiseIPs:         2000,
+		EventsPerFlagMin: 1,
+		EventsPerFlagMax: 4,
+		Days:             30,
+	}
+}
+
+var feedNames = []string{
+	"darklist", "honeyfeed", "abuse-tracker", "botwatch", "spamhaus-like",
+	"webattack-log", "ssh-auth-log", "dnsbl-mirror",
+}
+
+// Generate builds a repository over the synthetic world. Flags are planted
+// on compromised devices with probability increasing in their ground-truth
+// activity weight (loud devices get reported), plus non-IoT noise IPs.
+func Generate(cfg GenConfig, truth wgen.GroundTruth, inv *devicedb.Inventory,
+	noisePool []netx.Addr, seed uint64) (*Repository, error) {
+
+	if cfg.FlagFraction <= 0 || cfg.FlagFraction > 1 {
+		return nil, fmt.Errorf("threatintel: flag fraction %v out of (0, 1]", cfg.FlagFraction)
+	}
+	if cfg.EventsPerFlagMin < 1 || cfg.EventsPerFlagMax < cfg.EventsPerFlagMin {
+		return nil, fmt.Errorf("threatintel: invalid events-per-flag range")
+	}
+	if cfg.Days < 1 {
+		return nil, fmt.Errorf("threatintel: days must be >= 1")
+	}
+	r := rng.New(seed).Derive("threatintel")
+	repo := NewRepository()
+
+	// Select flagged devices: weighted sampling without replacement via
+	// exponential sort keys (weight^bias).
+	type cand struct {
+		id  int
+		key float64
+	}
+	cands := make([]cand, 0, len(truth.Compromised))
+	for _, id := range truth.Compromised {
+		w := truth.ActivityWeight[id]
+		if w <= 0 {
+			w = 1e-6
+		}
+		wb := math.Pow(w, cfg.ActivityBias)
+		// Efraimidis-Spirakis weighted reservoir key.
+		key := math.Pow(r.Float64(), 1/wb)
+		cands = append(cands, cand{id, key})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key != cands[j].key {
+			return cands[i].key > cands[j].key
+		}
+		return cands[i].id < cands[j].id
+	})
+	nFlag := int(float64(len(cands))*cfg.FlagFraction + 0.5)
+	if nFlag < 1 {
+		nFlag = 1
+	}
+	if nFlag > len(cands) {
+		nFlag = len(cands)
+	}
+
+	addEvents := func(ip netx.Addr, cat Category, dr *rng.Source) {
+		n := cfg.EventsPerFlagMin
+		if cfg.EventsPerFlagMax > cfg.EventsPerFlagMin {
+			n += dr.Intn(cfg.EventsPerFlagMax - cfg.EventsPerFlagMin + 1)
+		}
+		for i := 0; i < n; i++ {
+			repo.Add(Event{
+				IP:       ip,
+				Category: cat,
+				Source:   feedNames[dr.Intn(len(feedNames))],
+				Day:      dr.Intn(cfg.Days),
+			})
+		}
+	}
+
+	for _, c := range cands[:nFlag] {
+		dev := inv.At(c.id)
+		dr := r.DeriveN("flag", uint64(c.id))
+		flagged := false
+		for _, cat := range Categories() {
+			if dr.Bool(cfg.CategoryShares[cat]) {
+				addEvents(dev.IP, cat, dr)
+				flagged = true
+			}
+		}
+		if !flagged {
+			// Ensure at least the anchor category.
+			addEvents(dev.IP, Scanning, dr)
+		}
+	}
+
+	// Non-IoT noise.
+	for i := 0; i < cfg.NoiseIPs && len(noisePool) > 0; i++ {
+		ip := noisePool[r.Intn(len(noisePool))]
+		cat := Categories()[r.Intn(NumCategories)]
+		addEvents(ip, cat, r)
+	}
+	return repo, nil
+}
