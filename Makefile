@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages whose concurrency is exercised under the race detector: the
+# worker-pool correlator, the incremental watcher, the HTTP server, and the
+# atomic file writer raced against readers.
+RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve ./cmd/iotwatch
+
+.PHONY: check build test vet race fuzz bench
+
+# The full gate: tier-1 build/test plus vet and the race suite.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Bounded local fuzz budget for the flowtuple reader (see FuzzReader).
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/flowtuple
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

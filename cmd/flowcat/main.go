@@ -1,13 +1,18 @@
 // Command flowcat inspects flowtuple files: print records, summarize an
-// hour, or summarize a whole dataset.
+// hour, summarize a whole dataset, or integrity-check hour files.
 //
 // Usage:
 //
 //	flowcat -file hour-000.ft.gz [-n 20]     # head of one file
 //	flowcat -data DIR [-hour 5]              # per-hour or dataset summary
+//	flowcat -verify -data DIR                # per-file integrity verdicts
+//	flowcat -verify -file hour-000.ft.gz     # one-file verdict
+//
+// -verify exits nonzero if any file is corrupt or truncated.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,15 +32,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("flowcat", flag.ContinueOnError)
 	var (
-		file = fs.String("file", "", "one flowtuple file to dump")
-		n    = fs.Int("n", 20, "records to print with -file (0 = all)")
-		data = fs.String("data", "", "dataset directory to summarize")
-		hour = fs.Int("hour", -1, "restrict -data summary to one hour")
+		file   = fs.String("file", "", "one flowtuple file to dump")
+		n      = fs.Int("n", 20, "records to print with -file (0 = all)")
+		data   = fs.String("data", "", "dataset directory to summarize")
+		hour   = fs.Int("hour", -1, "restrict -data summary to one hour")
+		verify = fs.Bool("verify", false, "integrity-check instead of printing records")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
+	case *verify && *file != "":
+		return verifyFiles([]string{*file})
+	case *verify && *data != "":
+		return verifyDataset(*data)
 	case *file != "":
 		return dumpFile(*file, *n)
 	case *data != "":
@@ -43,6 +53,45 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("need -file or -data")
 	}
+}
+
+// verifyDataset integrity-checks every hour file in dir.
+func verifyDataset(dir string) error {
+	hours, err := flowtuple.DatasetHours(dir)
+	if err != nil {
+		return err
+	}
+	if len(hours) == 0 {
+		return fmt.Errorf("no hourly files in %s", dir)
+	}
+	paths := make([]string, len(hours))
+	for i, h := range hours {
+		paths[i] = flowtuple.HourPath(dir, h)
+	}
+	return verifyFiles(paths)
+}
+
+// verifyFiles prints a per-file verdict and fails if any file is bad.
+func verifyFiles(paths []string) error {
+	bad := 0
+	for _, path := range paths {
+		hdr, err := flowtuple.Verify(path)
+		switch {
+		case errors.Is(err, flowtuple.ErrTruncated):
+			bad++
+			fmt.Printf("%s: TRUNCATED: %v\n", path, err)
+		case err != nil:
+			bad++
+			fmt.Printf("%s: CORRUPT: %v\n", path, err)
+		default:
+			fmt.Printf("%s: ok (hour %d, %d records)\n", path, hdr.Hour, hdr.Count)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d files failed verification", bad, len(paths))
+	}
+	fmt.Printf("all %d files ok\n", len(paths))
+	return nil
 }
 
 func dumpFile(path string, n int) error {

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"iotscope/internal/core"
+	"iotscope/internal/faultfs"
+	"iotscope/internal/flowtuple"
 )
 
 func testDataset(t *testing.T) string {
@@ -44,5 +46,44 @@ func TestSummarize(t *testing.T) {
 	}
 	if err := run([]string{"-data", dir, "-hour", "1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestVerifyCleanDataset(t *testing.T) {
+	dir := testDataset(t)
+	if err := run([]string{"-verify", "-data", dir}); err != nil {
+		t.Fatalf("clean dataset failed verification: %v", err)
+	}
+	if err := run([]string{"-verify", "-file", filepath.Join(dir, "hour-000.ft.gz")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verify", "-data", t.TempDir()}); err == nil {
+		t.Fatal("empty dataset verified clean")
+	}
+}
+
+func TestVerifyFlagsDamage(t *testing.T) {
+	dir := testDataset(t)
+	// One corrupt hour, one truncated in-progress hour; hour 0 stays good.
+	if err := faultfs.BitFlip(flowtuple.HourPath(dir, 1), 1, 0x04); err != nil {
+		t.Fatal(err)
+	}
+	n, err := faultfs.UncompressedLen(flowtuple.HourPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultfs.RecompressPrefix(flowtuple.HourPath(dir, 2), n/2); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-verify", "-data", dir})
+	if err == nil {
+		t.Fatal("damaged dataset verified clean")
+	}
+	if got := err.Error(); got != "2 of 3 files failed verification" {
+		t.Fatalf("verdict %q", got)
+	}
+	// Single-file mode flags the same damage.
+	if err := run([]string{"-verify", "-file", flowtuple.HourPath(dir, 1)}); err == nil {
+		t.Fatal("corrupt file verified clean")
 	}
 }

@@ -66,10 +66,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Full-request timeouts so a slow or stalled client cannot pin a
+	// connection (and its goroutine) indefinitely.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Fprintf(os.Stderr, "serving %d inferred devices on %s\n",
 		res.Summary.Total, *addr)

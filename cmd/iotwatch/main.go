@@ -5,12 +5,19 @@
 // fires when an hour's backscatter exceeds a multiple of the running
 // median.
 //
+// Ingestion is fault tolerant: an hour file that ends early (a non-atomic
+// producer may still be writing it) is retried with exponential backoff up
+// to -retries attempts before being quarantined; structurally corrupt
+// hours are quarantined immediately. Neither ever aborts the watch, and
+// the summary line reports the retried and quarantined counts.
+//
 // Usage:
 //
-//	iotwatch -data DIR [-poll 2s] [-once] [-alarm 8]
+//	iotwatch -data DIR [-poll 2s] [-once] [-alarm 8] [-retries 3] [-backoff 500ms]
 //
-// With -once the watcher ingests whatever is present and exits (useful for
-// scripting and tests); otherwise it polls until interrupted.
+// With -once the watcher ingests whatever is present (including retry
+// resolution) and exits (useful for scripting and tests); otherwise it
+// polls until interrupted.
 package main
 
 import (
@@ -38,10 +45,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("iotwatch", flag.ContinueOnError)
 	var (
-		data  = fs.String("data", "", "dataset directory (required)")
-		poll  = fs.Duration("poll", 2*time.Second, "directory poll interval")
-		once  = fs.Bool("once", false, "ingest what is present, then exit")
-		alarm = fs.Float64("alarm", 8, "DoS alarm threshold (x median backscatter hour; 0 disables)")
+		data    = fs.String("data", "", "dataset directory (required)")
+		poll    = fs.Duration("poll", 2*time.Second, "directory poll interval")
+		once    = fs.Bool("once", false, "ingest what is present, then exit")
+		alarm   = fs.Float64("alarm", 8, "DoS alarm threshold (x median backscatter hour; 0 disables)")
+		retries = fs.Int("retries", 3, "retry budget per truncated hour before quarantine")
+		backoff = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,11 +58,14 @@ func run(args []string) error {
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	if *retries < 0 || *backoff < 0 {
+		return fmt.Errorf("-retries and -backoff must be non-negative")
+	}
 	ds, err := core.Open(*data)
 	if err != nil {
 		return err
 	}
-	c := correlate.New(ds.Inventory, correlate.Options{})
+	c := correlate.New(ds.Inventory, correlate.Options{FaultPolicy: correlate.Lenient})
 	maxHours := ds.Scenario.Hours
 	if maxHours <= 0 {
 		maxHours = 24 * 365
@@ -63,7 +75,13 @@ func run(args []string) error {
 		return err
 	}
 
-	w := &watcher{ds: ds, inc: inc, alarm: *alarm, ingested: make(map[int]bool)}
+	w := &watcher{
+		dir: ds.Dir, inv: ds.Inventory, inc: inc,
+		alarm: *alarm, retries: *retries, backoff: *backoff,
+		ingested: make(map[int]bool),
+		attempts: make(map[int]int),
+		nextTry:  make(map[int]time.Time),
+	}
 
 	interrupt := make(chan os.Signal, 1)
 	signal.Notify(interrupt, os.Interrupt)
@@ -74,8 +92,12 @@ func run(args []string) error {
 		}
 		if *once {
 			if n == 0 {
-				w.summary()
-				return nil
+				wait, pending := w.nextRetryWait()
+				if !pending {
+					w.summary()
+					return nil
+				}
+				time.Sleep(wait)
 			}
 			continue
 		}
@@ -90,34 +112,80 @@ func run(args []string) error {
 }
 
 type watcher struct {
-	ds       *core.Dataset
-	inc      *correlate.Incremental
-	alarm    float64
+	dir     string
+	inv     *devicedb.Inventory
+	inc     *correlate.Incremental
+	alarm   float64
+	retries int
+	backoff time.Duration
+
 	ingested map[int]bool
+	attempts map[int]int
+	nextTry  map[int]time.Time
 	bsHours  []float64
 }
 
 // sweep ingests any hour files not yet seen, in order, returning how many
-// were processed.
+// were processed. Retryable failures leave the hour pending (with
+// exponential backoff); exhausted or permanent failures quarantine it.
+// Either way the sweep keeps going: a bad hour never aborts the watch.
 func (w *watcher) sweep() (int, error) {
-	hours, err := flowtuple.DatasetHours(w.ds.Dir)
+	hours, err := flowtuple.DatasetHours(w.dir)
 	if err != nil {
 		return 0, err
 	}
 	processed := 0
+	now := time.Now()
 	for _, h := range hours {
-		if w.ingested[h] {
+		if w.ingested[h] || w.inc.Quarantined(h) {
 			continue
 		}
-		fresh, err := w.inc.Ingest(w.ds.Dir, h)
+		if t, ok := w.nextTry[h]; ok && now.Before(t) {
+			continue
+		}
+		fresh, err := w.inc.Ingest(w.dir, h)
 		if err != nil {
-			return processed, err
+			if correlate.IsRetryable(err) && w.attempts[h] < w.retries {
+				w.attempts[h]++
+				delay := w.backoff << (w.attempts[h] - 1)
+				w.nextTry[h] = now.Add(delay)
+				fmt.Printf("[hour %3d] incomplete, retry %d/%d in %s: %v\n",
+					h, w.attempts[h], w.retries, delay, err)
+				continue
+			}
+			w.inc.Quarantine(h, err)
+			delete(w.nextTry, h)
+			fmt.Printf("[hour %3d] QUARANTINED after %d attempts: %v\n", h, w.attempts[h]+1, err)
+			continue
 		}
 		w.ingested[h] = true
+		delete(w.nextTry, h)
 		processed++
 		w.report(h, fresh)
 	}
 	return processed, nil
+}
+
+// nextRetryWait returns how long until the earliest pending retry is due,
+// and whether any hour is still awaiting one.
+func (w *watcher) nextRetryWait() (time.Duration, bool) {
+	var earliest time.Time
+	for h, t := range w.nextTry {
+		if w.ingested[h] || w.inc.Quarantined(h) {
+			continue
+		}
+		if earliest.IsZero() || t.Before(earliest) {
+			earliest = t
+		}
+	}
+	if earliest.IsZero() {
+		return 0, false
+	}
+	wait := time.Until(earliest)
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait, true
 }
 
 func (w *watcher) report(hour int, fresh []int) {
@@ -133,7 +201,7 @@ func (w *watcher) report(hour int, fresh []int) {
 	fmt.Printf("[hour %3d] %8d IoT pkts, %5d backscatter, %3d new devices (total %d)\n",
 		hour, pkts, bs, len(fresh), len(res.Devices))
 	for _, id := range fresh {
-		d := w.ds.Inventory.At(id)
+		d := w.inv.At(id)
 		tag := d.Type.String()
 		if d.Category == devicedb.CPS && len(d.Services) > 0 {
 			tag = d.Services[0]
@@ -143,10 +211,11 @@ func (w *watcher) report(hour int, fresh []int) {
 	// DoS alarm against the running median of positive backscatter hours.
 	if w.alarm > 0 && bs > 0 {
 		if med := median(w.bsHours); med > 0 && float64(bs) > w.alarm*med {
-			top, share := dominantVictim(res, hour)
-			d := w.ds.Inventory.At(top)
-			fmt.Printf("    ALARM: backscatter %d = %.1fx median; dominant victim device %d (%s in %s, %.0f%% of hour)\n",
-				bs, float64(bs)/med, top, d.Category, d.Country, 100*share)
+			if top, share := dominantVictim(res, hour); top >= 0 {
+				d := w.inv.At(top)
+				fmt.Printf("    ALARM: backscatter %d = %.1fx median; dominant victim device %d (%s in %s, %.0f%% of hour)\n",
+					bs, float64(bs)/med, top, d.Category, d.Country, 100*share)
+			}
 		}
 		w.bsHours = append(w.bsHours, float64(bs))
 	}
@@ -154,9 +223,14 @@ func (w *watcher) report(hour int, fresh []int) {
 
 func (w *watcher) summary() {
 	res := w.inc.Result()
-	fmt.Printf("watched %d hours: %d devices inferred, %s IoT packets, %d background sources\n",
+	st := w.inc.Stats()
+	fmt.Printf("watched %d hours: %d devices inferred, %s IoT packets, %d background sources (%d retried, %d quarantined)\n",
 		w.inc.HoursIngested(), len(res.Devices),
-		fmt.Sprint(res.TotalIoTPackets()), res.Background.Sources)
+		fmt.Sprint(res.TotalIoTPackets()), res.Background.Sources,
+		st.HoursRetried, st.HoursQuarantined)
+	for _, f := range st.Faults {
+		fmt.Printf("    quarantined hour %d: %v\n", f.Hour, f.Err)
+	}
 }
 
 func median(xs []float64) float64 {
@@ -169,18 +243,24 @@ func median(xs []float64) float64 {
 }
 
 // dominantVictim finds the device with the most backscatter in the hour.
+// Ties break to the lowest device ID, and the sentinel -1 (never a valid
+// ID) is returned when no device has backscatter, so a device that merely
+// sorts first can never be misreported as the victim.
 func dominantVictim(res *correlate.Result, hour int) (int, float64) {
-	var bestID int
+	bestID := -1
 	var bestPkts, total uint64
 	for id, ds := range res.Devices {
 		v := ds.BackscatterHourly[hour]
 		total += v
-		if v > bestPkts || (v == bestPkts && v > 0 && id < bestID) {
+		if v == 0 {
+			continue
+		}
+		if v > bestPkts || (v == bestPkts && id < bestID) {
 			bestID, bestPkts = id, v
 		}
 	}
 	if total == 0 {
-		return 0, 0
+		return -1, 0
 	}
 	return bestID, float64(bestPkts) / float64(total)
 }

@@ -11,7 +11,9 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 
@@ -72,8 +74,22 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/reports", s.auth(s.handleReports))
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. A panicking handler is recovered so
+// one poisoned request cannot take the sharing API down; the client gets a
+// 500 and the stack goes to the server log. http.ErrAbortHandler keeps its
+// conventional meaning and is re-raised for the http server to swallow.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		log.Printf("apiserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		writeError(w, http.StatusInternalServerError, "internal server error")
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -117,10 +133,17 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	// Degraded, not dead: quarantined hours mean the served tables were
+	// computed from an incomplete dataset, which monitors should see.
+	status := "ok"
+	if s.res.Correlate.Ingest.HoursQuarantined > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
+		"status": status,
 		"hours":  s.ds.Scenario.Hours,
 		"scale":  s.ds.Scenario.Scale,
+		"ingest": s.res.Correlate.Ingest,
 	})
 }
 

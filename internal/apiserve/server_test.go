@@ -2,6 +2,8 @@ package apiserve
 
 import (
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -83,6 +85,39 @@ func TestHealthUnauthenticated(t *testing.T) {
 	code, body := get(t, s, "/healthz", "")
 	if code != http.StatusOK || body["status"] != "ok" {
 		t.Fatalf("health: %d %v", code, body)
+	}
+	// Ingestion health rides on the liveness payload: a clean analysis
+	// reports every hour OK and nothing quarantined.
+	ingest, ok := body["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("health payload lacks ingest stats: %v", body)
+	}
+	if ingest["hoursOk"].(float64) != float64(srvDS.Scenario.Hours) {
+		t.Fatalf("ingest hoursOk %v, want %d", ingest["hoursOk"], srvDS.Scenario.Hours)
+	}
+	if ingest["hoursQuarantined"].(float64) != 0 {
+		t.Fatalf("clean dataset reports quarantined hours: %v", ingest)
+	}
+}
+
+// One poisoned request must not take the server down, and the next request
+// must still be served.
+func TestPanicRecovery(t *testing.T) {
+	s := loadServer(t)
+	log.SetOutput(io.Discard) // the recovered stack is expected noise here
+	defer log.SetOutput(os.Stderr)
+	s.mux.HandleFunc("GET /v1/panic-test", func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})
+	code, body := get(t, s, "/v1/panic-test", "")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: %d %v", code, body)
+	}
+	if body["error"] == "" {
+		t.Fatalf("panic response lacks error body: %v", body)
+	}
+	if code, _ := get(t, s, "/healthz", ""); code != http.StatusOK {
+		t.Fatalf("server unhealthy after recovered panic: %d", code)
 	}
 }
 

@@ -22,6 +22,9 @@ type Options struct {
 	UseSketches bool
 	// SketchPrecision is the HLL precision (default 14).
 	SketchPrecision int
+	// FaultPolicy selects strict (fail fast, the default) or lenient
+	// (quarantine unreadable hours and continue) ingestion.
+	FaultPolicy FaultPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -58,9 +61,10 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 	res := newResult(maxHour + 1)
 
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		mu      sync.Mutex
+		errHour = -1
+		hourErr error
+		wg      sync.WaitGroup
 	)
 	sem := make(chan struct{}, c.opts.Workers)
 	bgSources, err := sketch.NewHLL(c.opts.SketchPrecision)
@@ -77,17 +81,27 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+				// Lenient: the hour's partial aggregate is dropped whole
+				// (nothing was merged), the fault recorded, the rest of
+				// the dataset still ingested. Strict: remember the
+				// lowest-hour error for a deterministic failure.
+				if c.opts.FaultPolicy == Lenient {
+					res.Ingest.noteFailure(hour, err, IsRetryable(err))
+					res.Ingest.HoursQuarantined++
+					return
+				}
+				if errHour == -1 || hour < errHour {
+					errHour, hourErr = hour, err
 				}
 				return
 			}
+			res.Ingest.HoursOK++
 			mergePartial(res, part, bgSources)
 		}(hour)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if hourErr != nil {
+		return nil, hourErr
 	}
 	res.Background.Sources = bgSources.Estimate()
 	return res, nil
@@ -105,6 +119,7 @@ func (c *Correlator) ProcessHour(dir string, hour int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Ingest.HoursOK = 1
 	mergePartial(res, part, bg)
 	res.Background.Sources = bg.Estimate()
 	return res, nil

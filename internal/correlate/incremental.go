@@ -12,11 +12,20 @@ import (
 // unsolicited Internet-scale IoT devices"): hour files are ingested as they
 // arrive, the running Result stays queryable between hours, and each
 // ingest reports the devices discovered for the first time.
+//
+// Under Options.FaultPolicy == Lenient, Ingest distinguishes retryable
+// failures (the file ends early — a non-atomic producer may still be
+// writing it — or does not exist yet) from permanent corruption: permanent
+// faults quarantine the hour immediately, retryable ones leave it eligible
+// for another Ingest, and the caller decides when to give up via
+// Quarantine. Either way a failed hour contributes nothing to the running
+// result: partial accumulators are discarded whole.
 type Incremental struct {
-	c     *Correlator
-	res   *Result
-	bg    *sketch.HLL
-	hours map[int]bool
+	c           *Correlator
+	res         *Result
+	bg          *sketch.HLL
+	hours       map[int]bool
+	quarantined map[int]bool
 }
 
 // NewIncremental returns an incremental correlator sized for up to
@@ -30,16 +39,24 @@ func (c *Correlator) NewIncremental(maxHours int) (*Incremental, error) {
 		return nil, err
 	}
 	return &Incremental{
-		c:     c,
-		res:   newResult(maxHours),
-		bg:    bg,
-		hours: make(map[int]bool, maxHours),
+		c:           c,
+		res:         newResult(maxHours),
+		bg:          bg,
+		hours:       make(map[int]bool, maxHours),
+		quarantined: make(map[int]bool),
 	}, nil
 }
 
 // Ingest processes one newly arrived hour file and returns the IDs of
 // devices seen for the first time (the near-real-time notification feed),
-// ascending. Ingesting the same hour twice is rejected.
+// ascending. Ingesting the same hour twice is rejected, as is an hour that
+// has been quarantined.
+//
+// On failure the hour's partial accumulators are discarded atomically and
+// the returned error wraps the cause (test with IsRetryable and
+// flowtuple.ErrBadFormat). Under the Lenient policy the fault is also
+// recorded in the running IngestStats, and permanent corruption
+// quarantines the hour; retryable failures leave it open for another try.
 func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
 	if hour < 0 || hour >= len(inc.res.Hourly) {
 		return nil, fmt.Errorf("correlate: hour %d outside [0, %d)", hour, len(inc.res.Hourly))
@@ -47,8 +64,19 @@ func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
 	if inc.hours[hour] {
 		return nil, fmt.Errorf("correlate: hour %d already ingested", hour)
 	}
+	if inc.quarantined[hour] {
+		return nil, fmt.Errorf("correlate: hour %d quarantined", hour)
+	}
 	part, err := inc.c.processHourFile(dir, hour)
 	if err != nil {
+		if inc.c.opts.FaultPolicy == Lenient {
+			retryable := IsRetryable(err)
+			inc.res.Ingest.noteFailure(hour, err, retryable)
+			if !retryable {
+				inc.quarantined[hour] = true
+				inc.res.Ingest.HoursQuarantined++
+			}
+		}
 		return nil, err
 	}
 	var fresh []int
@@ -60,7 +88,29 @@ func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
 	sort.Ints(fresh)
 	mergePartial(inc.res, part, inc.bg)
 	inc.hours[hour] = true
+	inc.res.Ingest.noteSuccess(hour)
 	return fresh, nil
+}
+
+// Quarantine abandons an hour permanently — typically after the caller has
+// exhausted retries on a retryable fault. It is idempotent and a no-op for
+// hours already ingested.
+func (inc *Incremental) Quarantine(hour int, err error) {
+	if inc.hours[hour] || inc.quarantined[hour] {
+		return
+	}
+	inc.quarantined[hour] = true
+	inc.res.Ingest.noteQuarantine(hour, err, IsRetryable(err))
+}
+
+// Quarantined reports whether the hour has been abandoned.
+func (inc *Incremental) Quarantined(hour int) bool { return inc.quarantined[hour] }
+
+// Stats returns a snapshot of the running ingestion statistics.
+func (inc *Incremental) Stats() IngestStats {
+	s := inc.res.Ingest
+	s.Faults = append([]HourFault(nil), inc.res.Ingest.Faults...)
+	return s
 }
 
 // HoursIngested returns how many hour files have been folded in.

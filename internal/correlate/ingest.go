@@ -1,0 +1,121 @@
+package correlate
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"sort"
+
+	"iotscope/internal/flowtuple"
+)
+
+// FaultPolicy selects how the correlator reacts to unreadable hour files.
+type FaultPolicy int
+
+const (
+	// Strict aborts on the first unreadable hour file (the default, and
+	// the right mode for reproducing published numbers: a silent gap would
+	// skew every table downstream).
+	Strict FaultPolicy = iota
+	// Lenient quarantines unreadable hours and keeps going — the
+	// operational mode for a live telescope feed, where hour files arrive
+	// late, partially written, or corrupted. A quarantined hour's partial
+	// accumulators are discarded atomically (nothing is merged until the
+	// whole file has read cleanly), the fault is recorded in
+	// Result.Ingest, and every healthy hour is still ingested.
+	Lenient
+)
+
+func (p FaultPolicy) String() string {
+	if p == Lenient {
+		return "lenient"
+	}
+	return "strict"
+}
+
+// HourFault records one hour file that failed to ingest. Err preserves the
+// wrapped cause (errors.Is against flowtuple.ErrBadFormat and
+// flowtuple.ErrTruncated work); the JSON form carries its message.
+type HourFault struct {
+	Hour      int
+	Err       error
+	Retryable bool
+	Attempts  int
+}
+
+// MarshalJSON flattens the wrapped error into its message.
+func (f HourFault) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Hour      int    `json:"hour"`
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+		Attempts  int    `json:"attempts,omitempty"`
+	}{f.Hour, f.Err.Error(), f.Retryable, f.Attempts})
+}
+
+// IngestStats summarizes ingestion health across a dataset's hour files.
+type IngestStats struct {
+	// HoursOK counts hours ingested successfully.
+	HoursOK int `json:"hoursOk"`
+	// HoursRetried counts hours that failed at least one retryable
+	// attempt before eventually ingesting successfully.
+	HoursRetried int `json:"hoursRetried"`
+	// HoursQuarantined counts hours abandoned permanently.
+	HoursQuarantined int `json:"hoursQuarantined"`
+	// Faults holds one entry per hour that is currently failed or
+	// quarantined, ascending by hour. An hour that recovers on retry is
+	// removed (and counted under HoursRetried).
+	Faults []HourFault `json:"faults,omitempty"`
+}
+
+func (s *IngestStats) fault(hour int) *HourFault {
+	for i := range s.Faults {
+		if s.Faults[i].Hour == hour {
+			return &s.Faults[i]
+		}
+	}
+	return nil
+}
+
+// noteFailure records or refreshes the fault entry for an hour.
+func (s *IngestStats) noteFailure(hour int, err error, retryable bool) {
+	if f := s.fault(hour); f != nil {
+		f.Err = err
+		f.Retryable = retryable
+		f.Attempts++
+		return
+	}
+	s.Faults = append(s.Faults, HourFault{Hour: hour, Err: err, Retryable: retryable, Attempts: 1})
+	sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Hour < s.Faults[j].Hour })
+}
+
+// noteQuarantine marks an hour abandoned without counting an attempt: it
+// keeps the attempt tally from prior failures, creating an entry only if
+// the hour has none (e.g. quarantined by policy before any ingest).
+func (s *IngestStats) noteQuarantine(hour int, err error, retryable bool) {
+	if s.fault(hour) == nil {
+		s.Faults = append(s.Faults, HourFault{Hour: hour, Err: err, Retryable: retryable})
+		sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Hour < s.Faults[j].Hour })
+	}
+	s.HoursQuarantined++
+}
+
+// noteSuccess clears any pending fault for the hour and updates counters.
+func (s *IngestStats) noteSuccess(hour int) {
+	s.HoursOK++
+	for i := range s.Faults {
+		if s.Faults[i].Hour == hour {
+			s.Faults = append(s.Faults[:i], s.Faults[i+1:]...)
+			s.HoursRetried++
+			return
+		}
+	}
+}
+
+// IsRetryable reports whether an ingest error may resolve on its own: the
+// hour file ends early (a non-atomic producer may still be writing it) or
+// does not exist yet. Structural corruption — bad magic, checksum
+// failures, framing damage — is permanent.
+func IsRetryable(err error) bool {
+	return errors.Is(err, flowtuple.ErrTruncated) || errors.Is(err, fs.ErrNotExist)
+}

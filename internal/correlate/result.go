@@ -108,6 +108,9 @@ type Result struct {
 	TCPScanPorts map[uint16]*TCPPortAgg
 	TCPPortHour  map[PortHour]uint64
 	Background   BackgroundStats
+	// Ingest reports ingestion health: hours ingested, retried, and
+	// quarantined, with per-hour wrapped errors (see FaultPolicy).
+	Ingest IngestStats
 }
 
 // TotalIoTPackets sums packets attributed to inferred devices.

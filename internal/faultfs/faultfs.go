@@ -1,0 +1,143 @@
+// Package faultfs injects deterministic storage faults into dataset files
+// so that ingestion failure paths can be exercised by tests: byte-level
+// truncation, bit flips, clean mid-stream cuts, and slow non-atomic writes
+// that emulate a legacy collector caught in the act. Every operation is
+// pure byte surgery — nothing here knows the flowtuple framing — which
+// keeps the injected faults honest stand-ins for real disk and transfer
+// damage.
+package faultfs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// BitFlip XORs mask into the byte at offset. Offsets are resolved from the
+// end of the file when negative. A flip inside a gzip member's compressed
+// payload models single-bit disk or transfer corruption.
+func BitFlip(path string, offset int64, mask byte) error {
+	if mask == 0 {
+		return fmt.Errorf("faultfs: zero mask flips nothing")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 {
+		offset += int64(len(data))
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("faultfs: offset %d outside %s (%d bytes)", offset, path, len(data))
+	}
+	data[offset] ^= mask
+	return rewrite(path, data)
+}
+
+// TruncateTail drops the last n bytes of the file, modelling a copy or
+// write that stopped mid-stream.
+func TruncateTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 || n > info.Size() {
+		return fmt.Errorf("faultfs: cannot drop %d of %d bytes from %s", n, info.Size(), path)
+	}
+	return os.Truncate(path, info.Size()-n)
+}
+
+// RecompressPrefix decompresses the gzip file at path, keeps only the
+// first n uncompressed bytes, and recompresses them in place as a
+// complete gzip member. The result is what a buffered, non-atomic writer
+// that has flushed its compressor but not yet appended a footer would
+// leave on disk: a cleanly cut, incomplete stream.
+func RecompressPrefix(path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("faultfs: %s is not gzip: %w", path, err)
+	}
+	defer gz.Close()
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		return fmt.Errorf("faultfs: decompress %s: %w", path, err)
+	}
+	if n < 0 || n > len(plain) {
+		return fmt.Errorf("faultfs: prefix %d outside %s (%d plain bytes)", n, path, len(plain))
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(plain[:n]); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return rewrite(path, buf.Bytes())
+}
+
+// UncompressedLen reports the decompressed size of a gzip file, so tests
+// can compute frame-boundary cut points for RecompressPrefix.
+func UncompressedLen(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return 0, err
+	}
+	defer gz.Close()
+	n, err := io.Copy(io.Discard, gz)
+	return int(n), err
+}
+
+// WriteFileSlowly writes data to path directly (no atomic rename), chunk
+// bytes at a time, sleeping delay between chunks — a deterministic model
+// of a legacy collector whose in-progress output is visible to readers.
+// It blocks until the file is complete; run it in a goroutine to race a
+// reader against it.
+func WriteFileSlowly(path string, data []byte, chunk int, delay time.Duration) error {
+	if chunk <= 0 {
+		return fmt.Errorf("faultfs: chunk must be positive")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := f.Write(data[off:end]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if delay > 0 && end < len(data) {
+			time.Sleep(delay)
+		}
+	}
+	return f.Close()
+}
+
+func rewrite(path string, data []byte) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, info.Mode().Perm())
+}

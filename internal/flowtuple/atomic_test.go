@@ -1,0 +1,109 @@
+package flowtuple
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestCreateIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := HourPath(dir, 5)
+	w, err := Create(path, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Packets: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-write: only the .tmp sibling exists, and dataset scans skip it.
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("final path visible mid-write: %v", err)
+	}
+	if _, err := os.Stat(path + TmpSuffix); err != nil {
+		t.Fatalf("tmp sibling missing mid-write: %v", err)
+	}
+	hours, err := DatasetHours(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hours) != 0 {
+		t.Fatalf("in-progress file listed in dataset: %v", hours)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close: final path complete and verified, tmp gone.
+	if _, err := os.Stat(path + TmpSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp sibling left after Close: %v", err)
+	}
+	hdr, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Hour != 5 || hdr.Count != 1 {
+		t.Fatalf("header %+v", hdr)
+	}
+}
+
+func TestAbortLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := HourPath(dir, 2)
+	w, err := Create(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Packets: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("final path exists after Abort")
+	}
+	if _, err := os.Stat(path + TmpSuffix); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("tmp sibling survives Abort")
+	}
+	if err := w.Write(Record{Packets: 1}); err == nil {
+		t.Fatal("write after Abort accepted")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("close after Abort reported success")
+	}
+}
+
+func TestCloseIdempotentAfterSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := HourPath(dir, 1)
+	w, err := Create(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := Verify(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := HourPath(dir, 4)
+	writeHourFile(t, path, 4, []Record{{Packets: 1}, {Packets: 2}})
+	if hdr, err := Verify(path); err != nil || hdr.Count != 2 {
+		t.Fatalf("verify clean file: %+v, %v", hdr, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(path); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("verify damaged file: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package flowtuple
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iotscope/internal/faultfs"
+	"iotscope/internal/rng"
+)
+
+const corruptRecs = 8
+
+// validPlain builds the uncompressed payload of a valid hour file with
+// corruptRecs records: 16-byte header, framed records, 5-byte footer.
+func validPlain(t *testing.T) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	path := HourPath(dir, 3)
+	r := rng.New(99)
+	recs := make([]Record, corruptRecs)
+	for i := range recs {
+		recs[i] = randomRecord(r)
+	}
+	writeHourFile(t, path, 3, recs)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := fileHeaderLen + corruptRecs*(1+RecordSize) + 5
+	if len(plain) != wantLen {
+		t.Fatalf("plain payload %d bytes, want %d", len(plain), wantLen)
+	}
+	return plain
+}
+
+// writeGz compresses plain into a fresh hour file and returns its path.
+func writeGz(t *testing.T, plain []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hour-003.ft.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readAll drains the file, returning the terminal error (nil on clean EOF).
+func readAll(path string) error {
+	_, err := Verify(path)
+	return err
+}
+
+func TestCorruptionTable(t *testing.T) {
+	frame := 1 + RecordSize
+	cases := []struct {
+		name          string
+		mutate        func([]byte) []byte
+		wantTruncated bool // else: permanent ErrBadFormat only
+	}{
+		{"bad magic", func(p []byte) []byte { p[0] ^= 0xFF; return p }, false},
+		{"bad version", func(p []byte) []byte { p[4] = 99; return p }, false},
+		{"unknown frame tag", func(p []byte) []byte { p[fileHeaderLen] = 0x7F; return p }, false},
+		{"footer count mismatch", func(p []byte) []byte {
+			off := len(p) - 4
+			n := binary.LittleEndian.Uint32(p[off:])
+			binary.LittleEndian.PutUint32(p[off:], n+1)
+			return p
+		}, false},
+		{"trailing data", func(p []byte) []byte { return append(p, 0xAA, 0xBB) }, false},
+		{"empty payload", func(p []byte) []byte { return p[:0] }, true},
+		{"cut mid-header", func(p []byte) []byte { return p[:7] }, true},
+		{"cut mid-footer", func(p []byte) []byte { return p[:len(p)-2] }, true},
+	}
+	// Truncation at every frame boundary, and inside every record.
+	for k := 0; k <= corruptRecs; k++ {
+		cut := fileHeaderLen + k*frame
+		cases = append(cases, struct {
+			name          string
+			mutate        func([]byte) []byte
+			wantTruncated bool
+		}{"cut at frame " + string(rune('0'+k)), func(p []byte) []byte { return p[:cut] }, true})
+		if k < corruptRecs {
+			mid := cut + 1 + RecordSize/2
+			cases = append(cases, struct {
+				name          string
+				mutate        func([]byte) []byte
+				wantTruncated bool
+			}{"cut inside record " + string(rune('0'+k)), func(p []byte) []byte { return p[:mid] }, true})
+		}
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := tc.mutate(validPlain(t))
+			path := writeGz(t, plain)
+			err := readAll(path)
+			if err == nil {
+				t.Fatal("damaged file verified clean")
+			}
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("error does not wrap ErrBadFormat: %v", err)
+			}
+			if got := errors.Is(err, ErrTruncated); got != tc.wantTruncated {
+				t.Fatalf("ErrTruncated = %v, want %v (err: %v)", got, tc.wantTruncated, err)
+			}
+		})
+	}
+}
+
+// Raw compressed-stream truncation at every byte offset must always yield
+// an ErrBadFormat-wrapped error — never a clean read, never a panic.
+func TestRawTruncationEveryOffset(t *testing.T) {
+	full := func() []byte {
+		path := writeGz(t, validPlain(t))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hour-003.ft.gz")
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := readAll(path)
+		if err == nil {
+			t.Fatalf("cut at %d/%d verified clean", cut, len(full))
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("cut at %d: error does not wrap ErrBadFormat: %v", cut, err)
+		}
+	}
+}
+
+// Bit flips in the compressed stream are permanent corruption: the flip in
+// the gzip magic fails at open; a mid-stream flip is caught at the latest
+// by the gzip checksum before the footer can report clean EOF.
+func TestRawBitFlips(t *testing.T) {
+	for _, off := range []int64{1, -40} {
+		path := writeGz(t, validPlain(t))
+		if err := faultfs.BitFlip(path, off, 0x10); err != nil {
+			t.Fatal(err)
+		}
+		err := readAll(path)
+		if err == nil {
+			t.Fatalf("flip at %d verified clean", off)
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("flip at %d: error does not wrap ErrBadFormat: %v", off, err)
+		}
+	}
+}
+
+// A clean mid-stream cut produced by faultfs.RecompressPrefix — the
+// in-progress shape a non-atomic writer leaves behind — must classify as
+// retryable truncation, not permanent corruption.
+func TestInProgressFileIsRetryable(t *testing.T) {
+	path := writeGz(t, validPlain(t))
+	cut := fileHeaderLen + 2*(1+RecordSize)
+	if err := faultfs.RecompressPrefix(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	err := readAll(path)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("in-progress file error = %v, want ErrTruncated", err)
+	}
+	// The records before the cut are still readable.
+	rd, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := rd.Next(); err != nil {
+			t.Fatalf("record %d before cut unreadable: %v", i, err)
+		}
+	}
+}

@@ -32,10 +32,32 @@ const (
 
 	tagRecord byte = 0x01
 	tagFooter byte = 0x00
+
+	// TmpSuffix marks in-progress files written by Writer before the
+	// atomic rename into place. Dataset scans ignore them.
+	TmpSuffix = ".tmp"
 )
 
 // ErrBadFormat indicates a corrupt, truncated, or foreign flowtuple file.
 var ErrBadFormat = errors.New("flowtuple: bad file format")
+
+// ErrTruncated indicates a file that ends before its footer: the stream is
+// intact as far as it goes but incomplete. Against a collector that does
+// not write atomically this is the signature of an hour still being
+// written, so callers may treat it as retryable; it wraps ErrBadFormat, so
+// errors.Is(err, ErrBadFormat) still holds.
+var ErrTruncated = fmt.Errorf("truncated: %w", ErrBadFormat)
+
+// readErr classifies a low-level read failure: a clean or unexpected EOF
+// means the stream ended early (possibly mid-write), anything else —
+// gzip checksum failures, corrupt flate blocks — is structural damage.
+func readErr(path, what string, err error) error {
+	sentinel := ErrBadFormat
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		sentinel = ErrTruncated
+	}
+	return fmt.Errorf("flowtuple: %s %s (%v): %w", path, what, err, sentinel)
+}
 
 // Header describes one hourly file.
 type Header struct {
@@ -43,24 +65,30 @@ type Header struct {
 	Count uint32 // populated by Reader once the footer has been consumed
 }
 
-// Writer streams records into one hourly flowtuple file.
+// Writer streams records into one hourly flowtuple file. The records are
+// accumulated in a ".tmp" sibling and renamed into place by Close, so a
+// reader can never observe an in-progress or abandoned hour: the final
+// path either does not exist or holds a complete, footer-terminated file.
 type Writer struct {
 	f     *os.File
 	gz    *gzip.Writer
 	bw    *bufio.Writer
 	buf   []byte
 	count uint32
-	path  string
+	path  string // final destination
+	tmp   string // in-progress sibling
+	err   error  // first fatal error; the temp file has been removed
 }
 
-// Create opens path for writing an hourly file. The file is only valid
-// after a successful Close (which writes the footer).
+// Create opens path for writing an hourly file. Data goes to a temporary
+// sibling; the file appears at path only after a successful Close.
 func Create(path string, hour uint32) (*Writer, error) {
-	f, err := os.Create(path)
+	tmp := path + TmpSuffix
+	f, err := os.Create(tmp)
 	if err != nil {
-		return nil, fmt.Errorf("flowtuple: create %s: %w", path, err)
+		return nil, fmt.Errorf("flowtuple: create %s: %w", tmp, err)
 	}
-	w := &Writer{f: f, path: path}
+	w := &Writer{f: f, path: path, tmp: tmp}
 	w.gz = gzip.NewWriter(f)
 	w.bw = bufio.NewWriterSize(w.gz, 1<<16)
 	hdr := make([]byte, fileHeaderLen)
@@ -68,44 +96,113 @@ func Create(path string, hour uint32) (*Writer, error) {
 	hdr[4] = fileVersion
 	binary.LittleEndian.PutUint32(hdr[8:], hour)
 	if _, err := w.bw.Write(hdr); err != nil {
-		f.Close()
-		return nil, err
+		return nil, w.fail(err)
 	}
 	return w, nil
 }
 
+// fail records the first fatal error, closes the file, and removes the
+// partial temp output so no corrupt hour is ever left on disk.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	if w.f != nil {
+		w.f.Close()
+		os.Remove(w.tmp)
+		w.f = nil
+	}
+	return w.err
+}
+
 // Write appends one record.
 func (w *Writer) Write(r Record) error {
+	if w.f == nil {
+		return fmt.Errorf("flowtuple: write %s: writer closed (%w)", w.path, w.errOrClosed())
+	}
 	w.buf = append(w.buf[:0], tagRecord)
 	w.buf = AppendRecord(w.buf, r)
 	if _, err := w.bw.Write(w.buf); err != nil {
-		return fmt.Errorf("flowtuple: write %s: %w", w.path, err)
+		return w.fail(fmt.Errorf("flowtuple: write %s: %w", w.path, err))
 	}
 	w.count++
 	return nil
 }
 
+func (w *Writer) errOrClosed() error {
+	if w.err != nil {
+		return w.err
+	}
+	return os.ErrClosed
+}
+
 // Count returns the number of records written so far.
 func (w *Writer) Count() uint32 { return w.count }
 
-// Close writes the footer and flushes the file.
+// Close writes the footer, syncs the temp file, and atomically renames it
+// into place. On any failure the partial output is removed and the final
+// path is left untouched. Close after a write failure (or Abort) returns
+// the stored error without side effects.
 func (w *Writer) Close() error {
+	if w.f == nil {
+		return w.err
+	}
 	var footer [5]byte
 	footer[0] = tagFooter
 	binary.LittleEndian.PutUint32(footer[1:], w.count)
 	if _, err := w.bw.Write(footer[:]); err != nil {
-		w.f.Close()
-		return err
+		return w.fail(err)
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
-		return err
+		return w.fail(err)
 	}
 	if err := w.gz.Close(); err != nil {
-		w.f.Close()
+		return w.fail(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail(err)
+	}
+	f := w.f
+	w.f = nil
+	if err := f.Close(); err != nil {
+		os.Remove(w.tmp)
+		w.err = err
 		return err
 	}
-	return w.f.Close()
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Abort discards the in-progress file without publishing it. Safe to call
+// after Close or a failed Write (no-op).
+func (w *Writer) Abort() {
+	if w.f != nil {
+		w.fail(errors.New("flowtuple: writer aborted"))
+	}
+}
+
+// Verify reads the file at path end to end and reports whether it is a
+// complete, well-formed hour file. On success the returned Header has
+// Count populated from the footer. Failures wrap ErrBadFormat, and
+// additionally ErrTruncated when the file merely ends early.
+func Verify(path string) (Header, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer r.Close()
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				return r.Header(), nil
+			}
+			return Header{}, err
+		}
+	}
 }
 
 // Reader iterates the records of one hourly file.
@@ -128,17 +225,17 @@ func Open(path string) (*Reader, error) {
 	gz, err := gzip.NewReader(f)
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("flowtuple: %s: %w", path, ErrBadFormat)
+		return nil, readErr(path, "gzip open", err)
 	}
 	r := &Reader{f: f, gz: gz, br: bufio.NewReaderSize(gz, 1<<16), path: path}
 	hdr := make([]byte, fileHeaderLen)
 	if _, err := io.ReadFull(r.br, hdr); err != nil {
 		r.Close()
-		return nil, fmt.Errorf("flowtuple: %s: %w", path, ErrBadFormat)
+		return nil, readErr(path, "short header", err)
 	}
 	if [4]byte(hdr[:4]) != fileMagic || hdr[4] != fileVersion {
 		r.Close()
-		return nil, fmt.Errorf("flowtuple: %s: %w", path, ErrBadFormat)
+		return nil, fmt.Errorf("flowtuple: %s bad magic or version: %w", path, ErrBadFormat)
 	}
 	r.header.Hour = binary.LittleEndian.Uint32(hdr[8:])
 	return r, nil
@@ -147,18 +244,20 @@ func Open(path string) (*Reader, error) {
 // Header returns the file header. Count is only known after io.EOF.
 func (r *Reader) Header() Header { return r.header }
 
-// Next returns the next record, or io.EOF after the footer. Truncated or
-// corrupt files yield an error wrapping ErrBadFormat.
+// Next returns the next record, or io.EOF after the footer. Corrupt files
+// yield an error wrapping ErrBadFormat; files that simply end before the
+// footer (e.g. still being written by a non-atomic producer) additionally
+// wrap ErrTruncated.
 func (r *Reader) Next() (Record, error) {
 	tag, err := r.br.ReadByte()
 	if err != nil {
-		return Record{}, fmt.Errorf("flowtuple: %s truncated: %w", r.path, ErrBadFormat)
+		return Record{}, readErr(r.path, "ends before footer", err)
 	}
 	switch tag {
 	case tagFooter:
 		var cnt [4]byte
 		if _, err := io.ReadFull(r.br, cnt[:]); err != nil {
-			return Record{}, fmt.Errorf("flowtuple: %s truncated footer: %w", r.path, ErrBadFormat)
+			return Record{}, readErr(r.path, "truncated footer", err)
 		}
 		count := binary.LittleEndian.Uint32(cnt[:])
 		if count != r.read {
@@ -172,7 +271,7 @@ func (r *Reader) Next() (Record, error) {
 		return Record{}, io.EOF
 	case tagRecord:
 		if _, err := io.ReadFull(r.br, r.buf[:]); err != nil {
-			return Record{}, fmt.Errorf("flowtuple: %s truncated record: %w", r.path, ErrBadFormat)
+			return Record{}, readErr(r.path, "truncated record", err)
 		}
 		rec, err := DecodeRecord(r.buf[:])
 		if err != nil {
@@ -186,12 +285,23 @@ func (r *Reader) Next() (Record, error) {
 	}
 }
 
-// Close releases the underlying file.
+// Close releases the underlying file, propagating the gzip close error
+// (e.g. a checksum failure noticed only at stream end) over the file one.
 func (r *Reader) Close() error {
+	var gzErr error
 	if r.gz != nil {
-		r.gz.Close()
+		gzErr = r.gz.Close()
+		r.gz = nil
 	}
-	return r.f.Close()
+	var fErr error
+	if r.f != nil {
+		fErr = r.f.Close()
+		r.f = nil
+	}
+	if gzErr != nil {
+		return gzErr
+	}
+	return fErr
 }
 
 // HourPath returns the canonical file name for an hour within dir.
@@ -200,7 +310,7 @@ func HourPath(dir string, hour int) string {
 }
 
 // DatasetHours lists the hour indices present in a dataset directory, in
-// ascending order.
+// ascending order. In-progress ".tmp" siblings are never matched.
 func DatasetHours(dir string) ([]int, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "hour-*.ft.gz"))
 	if err != nil {
