@@ -1,11 +1,13 @@
 GO ?= go
 
 # Packages whose concurrency is exercised under the race detector: the
-# worker-pool correlator, the incremental watcher, the HTTP server, and the
+# worker-pool correlator, the incremental watcher, the HTTP server (and
+# its admission-control layer), the serving lifecycle binary, and the
 # atomic file writer raced against readers.
-RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve ./cmd/iotwatch
+RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
+	./internal/resilience ./cmd/iotwatch ./cmd/iotserve
 
-.PHONY: check build test vet race fuzz bench
+.PHONY: check build test vet race fuzz bench chaos
 
 # The full gate: tier-1 build/test plus vet and the race suite.
 check: vet build test race
@@ -25,6 +27,12 @@ race:
 # Bounded local fuzz budget for the flowtuple reader (see FuzzReader).
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/flowtuple
+
+# Serving chaos suite: signal-driven lifecycle (SIGHUP reload under load,
+# corrupt-dataset reload, SIGTERM drain) plus HTTP admission-control and
+# slow-client shedding, all race-detector clean.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./cmd/iotserve ./internal/apiserve
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -28,4 +28,22 @@ func TestRunRendersBundles(t *testing.T) {
 	if err := run([]string{"-data", dir, "-top", "3"}); err != nil {
 		t.Fatal(err)
 	}
+
+	// -top boundaries: 0 means "all", and a value far beyond the bundle
+	// count clamps instead of indexing out of range.
+	if err := run([]string{"-data", dir, "-top", "0"}); err != nil {
+		t.Fatalf("-top 0: %v", err)
+	}
+	if err := run([]string{"-data", dir, "-top", "1000000"}); err != nil {
+		t.Fatalf("-top beyond bundle count: %v", err)
+	}
+
+	// -min-devices boundaries: 1 is the floor; a huge threshold filters
+	// every operator but still exits cleanly.
+	if err := run([]string{"-data", dir, "-min-devices", "1"}); err != nil {
+		t.Fatalf("-min-devices 1: %v", err)
+	}
+	if err := run([]string{"-data", dir, "-min-devices", "1000000"}); err != nil {
+		t.Fatalf("-min-devices beyond device count: %v", err)
+	}
 }

@@ -3,9 +3,26 @@
 // plan to share IoT-relevant malicious empirical data, attack signatures,
 // and threat intelligence with the community.
 //
+// iotserve is built to run unattended:
+//
+//   - SIGINT/SIGTERM drain gracefully: /healthz flips to draining,
+//     in-flight requests finish (bounded by -drain), and a clean close
+//     exits 0.
+//   - SIGHUP hot-reloads the dataset: the new snapshot is verified
+//     (flowtuple.Verify over every hour file) and fully analyzed before
+//     an atomic swap; a bad reload keeps the old snapshot serving and
+//     marks health degraded. -reload-poll additionally watches the
+//     dataset directory mtime and reloads when it changes.
+//   - Admission control sheds load instead of collapsing: -max-inflight
+//     caps concurrency (503 + Retry-After), -rate/-burst rate-limit each
+//     token (429 + Retry-After), and -request-timeout propagates a
+//     context deadline to every handler.
+//
 // Usage:
 //
-//	iotserve -data DIR -token SECRET [-addr :8642]
+//	iotserve -data DIR -token SECRET [-token SECRET2 ...] [-addr :8642]
+//	         [-max-inflight 256] [-rate 0] [-burst 0] [-request-timeout 30s]
+//	         [-drain 10s] [-reload-poll 0]
 //
 // Endpoints (Bearer auth except /healthz):
 //
@@ -22,10 +39,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"iotscope/internal/apiserve"
@@ -39,44 +61,176 @@ func main() {
 	}
 }
 
+// testReady, when non-nil, receives the bound listen address once the
+// server is accepting connections (chaos tests bind to :0).
+var testReady chan<- string
+
+// tokenList collects repeatable -token flags.
+type tokenList []string
+
+func (t *tokenList) String() string { return fmt.Sprintf("%d token(s)", len(*t)) }
+func (t *tokenList) Set(v string) error {
+	*t = append(*t, v)
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("iotserve", flag.ContinueOnError)
+	var tokens tokenList
 	var (
-		data  = fs.String("data", "", "dataset directory (required)")
-		token = fs.String("token", "", "API bearer token (required)")
-		addr  = fs.String("addr", ":8642", "listen address")
+		data       = fs.String("data", "", "dataset directory (required)")
+		addr       = fs.String("addr", ":8642", "listen address")
+		maxInFl    = fs.Int("max-inflight", 256, "max concurrent requests before shedding 503 (0 disables)")
+		rate       = fs.Float64("rate", 0, "per-token request rate limit in req/s (0 disables)")
+		burst      = fs.Int("burst", 0, "per-token burst allowance (defaults to 2x -rate)")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request context deadline (0 disables)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+		reloadPoll = fs.Duration("reload-poll", 0, "poll the dataset dir mtime and hot-reload on change (0 disables; SIGHUP always reloads)")
 	)
+	fs.Var(&tokens, "token", "API bearer token (repeatable; at least one required)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *data == "" || *token == "" {
+	if *data == "" || len(tokens) == 0 {
 		return fmt.Errorf("-data and -token are required")
 	}
-	ds, err := core.Open(*data)
+	if *drain <= 0 {
+		return fmt.Errorf("-drain must be positive")
+	}
+
+	fmt.Fprintf(os.Stderr, "loading and verifying dataset %s ...\n", *data)
+	ds, res, err := core.LoadSnapshot(*data)
 	if err != nil {
 		return err
 	}
-	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
-	fmt.Fprintf(os.Stderr, "analyzing %d hours ...\n", ds.Scenario.Hours)
-	res, err := ds.Analyze(cfg)
+
+	var opts []apiserve.Option
+	if *maxInFl > 0 {
+		opts = append(opts, apiserve.WithConcurrencyLimit(*maxInFl, time.Second))
+	}
+	if *rate > 0 {
+		b := *burst
+		if b <= 0 {
+			b = int(2 * *rate)
+			if b < 1 {
+				b = 1
+			}
+		}
+		opts = append(opts, apiserve.WithRateLimit(*rate, b))
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts, apiserve.WithRequestTimeout(*reqTimeout))
+	}
+	api, err := apiserve.New(ds, res, tokens, opts...)
 	if err != nil {
 		return err
 	}
-	srv, err := apiserve.New(ds, res, []string{*token})
+
+	// Signals are registered before the listener exists so no signal can
+	// hit the default handler (process kill) once the address is
+	// published.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sigCh)
+
+	// Listen separately from Serve so a bind failure is reported as such
+	// (and tests can use :0 and learn the bound port).
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
-	// Full-request timeouts so a slow or stalled client cannot pin a
-	// connection (and its goroutine) indefinitely.
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(os.Stderr, "serving %d inferred devices on %s\n",
-		res.Summary.Total, *addr)
-	return httpSrv.ListenAndServe()
+	fmt.Fprintf(os.Stderr, "serving %d inferred devices on %s (%d token(s), snapshot gen %d)\n",
+		res.Summary.Total, ln.Addr(), len(tokens), api.Generation())
+	if testReady != nil {
+		testReady <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	var pollCh <-chan time.Time
+	var lastMtime time.Time
+	if *reloadPoll > 0 {
+		lastMtime = dirMtime(*data)
+		t := time.NewTicker(*reloadPoll)
+		defer t.Stop()
+		pollCh = t.C
+	}
+
+	for {
+		select {
+		case err := <-serveErr:
+			// Serve returned without a shutdown being requested. A clean
+			// close is a clean exit; anything else is a real
+			// listener/accept failure.
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return fmt.Errorf("serve: %w", err)
+
+		case sig := <-sigCh:
+			if sig == syscall.SIGHUP {
+				reload(api, *data)
+				continue
+			}
+			// SIGINT/SIGTERM: drain in-flight requests, bounded.
+			fmt.Fprintf(os.Stderr, "iotserve: %v received, draining (max %v) ...\n", sig, *drain)
+			api.SetDraining(true)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			shutdownErr := httpSrv.Shutdown(ctx)
+			cancel()
+			if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return fmt.Errorf("serve: %w", err)
+			}
+			if shutdownErr != nil {
+				httpSrv.Close()
+				return fmt.Errorf("drain deadline exceeded, connections force-closed: %w", shutdownErr)
+			}
+			fmt.Fprintln(os.Stderr, "iotserve: drained, clean exit")
+			return nil
+
+		case <-pollCh:
+			if m := dirMtime(*data); m.After(lastMtime) {
+				lastMtime = m
+				fmt.Fprintf(os.Stderr, "iotserve: dataset dir changed, reloading ...\n")
+				reload(api, *data)
+			}
+		}
+	}
+}
+
+// reload validates, analyzes, and swaps in the dataset at dir. On any
+// failure the current snapshot keeps serving and health reports degraded.
+func reload(api *apiserve.Server, dir string) {
+	ds, res, err := core.LoadSnapshot(dir)
+	if err != nil {
+		api.NoteReloadFailure(err)
+		fmt.Fprintf(os.Stderr, "iotserve: reload rejected, keeping snapshot gen %d: %v\n",
+			api.Generation(), err)
+		return
+	}
+	gen, err := api.Swap(ds, res)
+	if err != nil {
+		api.NoteReloadFailure(err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "iotserve: snapshot gen %d live (%d devices)\n", gen, res.Summary.Total)
+}
+
+// dirMtime returns the dataset directory's modification time (zero on
+// error): renames into the directory bump it, which is exactly the atomic
+// publish step of the PR-1 hour-file writer.
+func dirMtime(dir string) time.Time {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return time.Time{}
+	}
+	return fi.ModTime()
 }

@@ -12,4 +12,10 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-data", t.TempDir(), "-token", "x"}); err == nil {
 		t.Fatal("empty dataset accepted")
 	}
+	if err := run([]string{"-data", "x", "-token", "x", "-drain", "0s"}); err == nil {
+		t.Fatal("zero drain deadline accepted")
+	}
+	if err := run([]string{"-data", "x", "-token", "x", "-rate", "-1"}); err == nil {
+		t.Fatal("nonexistent dataset accepted")
+	}
 }

@@ -1,0 +1,310 @@
+package apiserve
+
+// Chaos tests for the serving path, in the spirit of internal/faultfs but
+// aimed at HTTP: hot reload under concurrent load, admission-control
+// shedding while a slow client pins a slot, rate-limit rejection, and
+// graceful drain with a request still in flight. All are run under the
+// race detector by `make chaos`.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosReloadUnderLoad swaps snapshots repeatedly while 50 clients
+// hammer the API. Every response must be a success — an atomic snapshot
+// swap can never surface as a 5xx or a torn read.
+func TestChaosReloadUnderLoad(t *testing.T) {
+	s := loadServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	paths := []string{"/healthz", "/v1/summary", "/v1/devices?limit=10", "/v1/ports/udp?n=5"}
+	stop := make(chan struct{})
+	var server5xx atomic.Int64
+	var requests atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, _ := http.NewRequest("GET", ts.URL+paths[i%len(paths)], nil)
+				req.Header.Set("Authorization", "Bearer "+testToken)
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("request error: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	// Hot-swap the snapshot 25 times mid-flight.
+	startGen := s.Generation()
+	for i := 0; i < 25; i++ {
+		if _, err := s.Swap(srvDS, srvRes); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := server5xx.Load(); n != 0 {
+		t.Fatalf("%d 5xx responses during reload (of %d requests)", n, requests.Load())
+	}
+	if requests.Load() == 0 {
+		t.Fatal("no requests completed")
+	}
+	if got := s.Generation(); got != startGen+25 {
+		t.Fatalf("generation %d, want %d", got, startGen+25)
+	}
+}
+
+// TestChaosCorruptReloadKeepsServing simulates a failed reload: the old
+// snapshot keeps serving, generation does not advance, and /healthz
+// reports degraded with the reload error — then a good reload recovers.
+func TestChaosCorruptReloadKeepsServing(t *testing.T) {
+	s := loadServer(t)
+	gen := s.Generation()
+	s.NoteReloadFailure(fmt.Errorf("verify hour 3: corrupt frame"))
+
+	if s.Generation() != gen {
+		t.Fatal("failed reload advanced the generation")
+	}
+	code, body := get(t, s, "/healthz", "")
+	if code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("health after bad reload: %d %v", code, body)
+	}
+	lre, ok := body["lastReloadError"].(map[string]any)
+	if !ok || lre["error"] == "" {
+		t.Fatalf("lastReloadError missing: %v", body)
+	}
+	// Old snapshot still serves data.
+	if code, _ := get(t, s, "/v1/summary", testToken); code != http.StatusOK {
+		t.Fatalf("summary after bad reload: %d", code)
+	}
+
+	// A successful swap clears the degradation.
+	if _, err := s.Swap(srvDS, srvRes); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, s, "/healthz", "")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health after recovery: %d %v", code, body)
+	}
+	if _, still := body["lastReloadError"]; still {
+		t.Fatalf("reload error survived recovery: %v", body)
+	}
+}
+
+// TestChaosSlowClientShedsLoad pins every concurrency slot with requests
+// that cannot complete (the server is stuck writing to clients that never
+// read on), then verifies: extra requests shed fast with 503 +
+// Retry-After, /healthz stays exempt, and capacity recovers when the slow
+// clients depart.
+func TestChaosSlowClientShedsLoad(t *testing.T) {
+	loadServer(t)
+	s, err := New(srvDS, srvRes, []string{testToken},
+		WithConcurrencyLimit(2, 3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	s.mux.HandleFunc("GET /v1/stall-test", func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer close(release)
+
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/v1/stall-test")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-started
+	<-started
+
+	// Saturated: a real endpoint sheds with 503 + Retry-After.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/summary", nil)
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: %d", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q", resp.Header.Get("Retry-After"))
+	}
+
+	// Health probes bypass the limiter even at capacity.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while saturated: %d", resp.StatusCode)
+	}
+}
+
+// TestChaosRateLimit429 exhausts one token's bucket and expects 429 +
+// Retry-After while a second token keeps its own budget.
+func TestChaosRateLimit429(t *testing.T) {
+	loadServer(t)
+	s, err := New(srvDS, srvRes, []string{testToken, "other-token"},
+		WithRateLimit(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	var rec *httptest.ResponseRecorder
+	for i := 0; i < 4; i++ {
+		req := httptest.NewRequest("GET", "/v1/summary", nil)
+		req.Header.Set("Authorization", "Bearer "+testToken)
+		rec = httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		code = rec.Code
+	}
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("4th request within burst 3: %d", code)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+	// Independent token unaffected.
+	if code, _ := get(t, s, "/v1/summary", "other-token"); code != http.StatusOK {
+		t.Fatalf("second token throttled: %d", code)
+	}
+	// Unauthenticated requests never consume rate budget and stay 401.
+	if code, _ := get(t, s, "/v1/summary", "bogus"); code != http.StatusUnauthorized {
+		t.Fatalf("bad token: %d", code)
+	}
+}
+
+// TestChaosShutdownDrainsInFlight starts a request that is mid-handler
+// when Shutdown begins and verifies it completes with 200 while /healthz
+// flips to draining (503) for load balancers.
+func TestChaosShutdownDrainsInFlight(t *testing.T) {
+	s := loadServer(t)
+	defer s.SetDraining(false)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s.mux.HandleFunc("GET /v1/drain-test", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"ok":true}`)
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	inFlight := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/drain-test")
+		if err != nil {
+			inFlight <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			inFlight <- fmt.Errorf("in-flight request got %d", resp.StatusCode)
+			return
+		}
+		inFlight <- nil
+	}()
+	<-entered
+
+	// Flip to draining with the request still inside the handler: probes
+	// on another connection must see 503/"draining" before the listener
+	// even closes, so load balancers stop routing early.
+	s.SetDraining(true)
+	probe, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during drain: %v", err)
+	}
+	code := probe.StatusCode
+	io.Copy(io.Discard, probe.Body)
+	probe.Body.Close()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("healthz during drain: %d, want 503", code)
+	}
+
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- httpSrv.Shutdown(ctx) }()
+
+	close(release)
+	if err := <-inFlight; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestHealthSnapshotFields checks the generation/loadedAt exposure the hot
+// reload machinery promises operators.
+func TestHealthSnapshotFields(t *testing.T) {
+	s := loadServer(t)
+	_, body := get(t, s, "/healthz", "")
+	snap, ok := body["snapshot"].(map[string]any)
+	if !ok {
+		t.Fatalf("no snapshot block: %v", body)
+	}
+	if snap["generation"].(float64) < 1 {
+		t.Fatalf("generation %v", snap["generation"])
+	}
+	if _, err := time.Parse(time.RFC3339, snap["loadedAt"].(string)); err != nil {
+		t.Fatalf("loadedAt %v: %v", snap["loadedAt"], err)
+	}
+}

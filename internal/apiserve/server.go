@@ -5,9 +5,18 @@
 // community"). It exposes an analyzed dataset over HTTP/JSON behind bearer
 // tokens: inferred devices, threat events, DoS episodes, port tables,
 // derived attack signatures, campaigns, and malware indicators.
+//
+// The server is built for always-on operation: it serves from an
+// atomically swapped immutable Snapshot (hot reload without restart or
+// request tearing), recovers handler panics, reports lifecycle state on
+// /healthz (ok / degraded / draining), and optionally applies admission
+// control — a concurrency cap that sheds with 503 + Retry-After, a
+// per-token rate limit that rejects with 429 + Retry-After, and a
+// per-request context deadline (see internal/resilience).
 package apiserve
 
 import (
+	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
@@ -16,6 +25,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"iotscope/internal/analysis"
 	"iotscope/internal/campaign"
@@ -24,54 +35,131 @@ import (
 	"iotscope/internal/devicedb"
 	"iotscope/internal/netx"
 	"iotscope/internal/notify"
+	"iotscope/internal/resilience"
 )
 
-// Server serves one analyzed dataset.
+// Server serves analyzed datasets, one immutable snapshot at a time.
 type Server struct {
-	ds     *core.Dataset
-	res    *core.Results
-	tokens map[string]bool
-	mux    *http.ServeMux
+	snap atomic.Pointer[Snapshot]
+	gen  atomic.Uint64
+
+	// tokens holds SHA-256 digests of the configured bearer tokens, so
+	// verification compares fixed-size digests and neither timing nor
+	// short-circuiting can leak token length or bytes.
+	tokens  [][sha256.Size]byte
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in admission-control middleware
+
+	draining   atomic.Bool
+	reloadFail atomic.Pointer[reloadFailure]
+
+	limiter *resilience.Limiter
+	rate    *resilience.RateLimiter
+	timeout time.Duration
+	clock   func() time.Time
+}
+
+// Option customizes a Server at construction.
+type Option func(*Server) error
+
+// WithConcurrencyLimit caps in-flight requests at max; excess requests
+// are shed with 503 and a Retry-After of retryAfter. /healthz is exempt.
+func WithConcurrencyLimit(max int, retryAfter time.Duration) Option {
+	return func(s *Server) error {
+		l, err := resilience.NewLimiter(max, retryAfter)
+		if err != nil {
+			return err
+		}
+		s.limiter = l
+		return nil
+	}
+}
+
+// WithRateLimit grants each API token rate requests/second with the given
+// burst; excess requests are rejected with 429 and Retry-After.
+func WithRateLimit(rate float64, burst int) Option {
+	return func(s *Server) error {
+		rl, err := resilience.NewRateLimiter(rate, burst)
+		if err != nil {
+			return err
+		}
+		s.rate = rl
+		return nil
+	}
+}
+
+// WithRequestTimeout propagates a per-request context deadline of d to
+// every handler.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) error {
+		if d <= 0 {
+			return fmt.Errorf("apiserve: request timeout %v must be positive", d)
+		}
+		s.timeout = d
+		return nil
+	}
 }
 
 // New builds a server over the dataset and its analysis results. At least
-// one bearer token is required.
-func New(ds *core.Dataset, res *core.Results, tokens []string) (*Server, error) {
-	if ds == nil || res == nil {
-		return nil, fmt.Errorf("apiserve: nil dataset or results")
-	}
+// one bearer token is required. Options wire admission control; without
+// them the server accepts every authenticated request.
+func New(ds *core.Dataset, res *core.Results, tokens []string, opts ...Option) (*Server, error) {
 	if len(tokens) == 0 {
 		return nil, fmt.Errorf("apiserve: at least one API token is required")
 	}
 	s := &Server{
-		ds:     ds,
-		res:    res,
-		tokens: make(map[string]bool, len(tokens)),
-		mux:    http.NewServeMux(),
+		mux:   http.NewServeMux(),
+		clock: time.Now,
 	}
 	for _, t := range tokens {
 		if t == "" {
 			return nil, fmt.Errorf("apiserve: empty API token")
 		}
-		s.tokens[t] = true
+		s.tokens = append(s.tokens, sha256.Sum256([]byte(t)))
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.Swap(ds, res); err != nil {
+		return nil, err
 	}
 	s.routes()
+
+	var h http.Handler = s.mux
+	if s.timeout > 0 {
+		h = resilience.WithTimeout(s.timeout, h)
+	}
+	if s.limiter != nil {
+		h = s.limiter.Middleware(h, "/healthz")
+	}
+	s.handler = h
 	return s, nil
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/summary", s.auth(s.handleSummary))
-	s.mux.HandleFunc("GET /v1/devices", s.auth(s.handleDevices))
-	s.mux.HandleFunc("GET /v1/devices/{id}", s.auth(s.handleDevice))
-	s.mux.HandleFunc("GET /v1/threats/{ip}", s.auth(s.handleThreats))
-	s.mux.HandleFunc("GET /v1/spikes", s.auth(s.handleSpikes))
-	s.mux.HandleFunc("GET /v1/ports/tcp", s.auth(s.handleTCPPorts))
-	s.mux.HandleFunc("GET /v1/ports/udp", s.auth(s.handleUDPPorts))
-	s.mux.HandleFunc("GET /v1/signatures", s.auth(s.handleSignatures))
-	s.mux.HandleFunc("GET /v1/campaigns", s.auth(s.handleCampaigns))
-	s.mux.HandleFunc("GET /v1/malware", s.auth(s.handleMalware))
-	s.mux.HandleFunc("GET /v1/reports", s.auth(s.handleReports))
+	s.mux.HandleFunc("GET /v1/summary", s.auth(s.snapped((*Snapshot).handleSummary)))
+	s.mux.HandleFunc("GET /v1/devices", s.auth(s.snapped((*Snapshot).handleDevices)))
+	s.mux.HandleFunc("GET /v1/devices/{id}", s.auth(s.snapped((*Snapshot).handleDevice)))
+	s.mux.HandleFunc("GET /v1/threats/{ip}", s.auth(s.snapped((*Snapshot).handleThreats)))
+	s.mux.HandleFunc("GET /v1/spikes", s.auth(s.snapped((*Snapshot).handleSpikes)))
+	s.mux.HandleFunc("GET /v1/ports/tcp", s.auth(s.snapped((*Snapshot).handleTCPPorts)))
+	s.mux.HandleFunc("GET /v1/ports/udp", s.auth(s.snapped((*Snapshot).handleUDPPorts)))
+	s.mux.HandleFunc("GET /v1/signatures", s.auth(s.snapped((*Snapshot).handleSignatures)))
+	s.mux.HandleFunc("GET /v1/campaigns", s.auth(s.snapped((*Snapshot).handleCampaigns)))
+	s.mux.HandleFunc("GET /v1/malware", s.auth(s.snapped((*Snapshot).handleMalware)))
+	s.mux.HandleFunc("GET /v1/reports", s.auth(s.snapped((*Snapshot).handleReports)))
+}
+
+// snapped binds a snapshot-scoped handler to whatever snapshot is current
+// when the request arrives. The handler keeps that snapshot for its whole
+// lifetime, so a concurrent Swap can never tear a response.
+func (s *Server) snapped(h func(*Snapshot, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(s.snap.Load(), w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler. A panicking handler is recovered so
@@ -90,12 +178,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		log.Printf("apiserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 		writeError(w, http.StatusInternalServerError, "internal server error")
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 var _ http.Handler = (*Server)(nil)
 
-// auth wraps a handler with bearer-token verification.
+// auth wraps a handler with bearer-token verification and, when
+// configured, the per-token rate limit. Tokens are compared as SHA-256
+// digests: every candidate is hashed and compared constant-time against
+// every configured digest, so neither a length mismatch nor an early
+// match can short-circuit the loop.
 func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		const prefix = "Bearer "
@@ -104,17 +196,24 @@ func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
 			writeError(w, http.StatusUnauthorized, "missing bearer token")
 			return
 		}
-		token := h[len(prefix):]
+		sum := sha256.Sum256([]byte(h[len(prefix):]))
 		ok := false
-		for t := range s.tokens {
-			if len(t) == len(token) &&
-				subtle.ConstantTimeCompare([]byte(t), []byte(token)) == 1 {
+		for _, d := range s.tokens {
+			if subtle.ConstantTimeCompare(d[:], sum[:]) == 1 {
 				ok = true
 			}
 		}
 		if !ok {
 			writeError(w, http.StatusUnauthorized, "invalid token")
 			return
+		}
+		if s.rate != nil {
+			key := fmt.Sprintf("%x", sum[:8])
+			if allowed, retry := s.rate.Allow(key); !allowed {
+				resilience.ShedResponse(w, http.StatusTooManyRequests, retry,
+					"rate limit exceeded for token")
+				return
+			}
 		}
 		next(w, r)
 	}
@@ -132,27 +231,51 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// handleHealth reports lifecycle and data health. Status is "draining"
+// (with HTTP 503, so load balancers pull the instance) during shutdown,
+// "degraded" when the served snapshot was computed from quarantined hours
+// or the last reload attempt failed, else "ok". The snapshot block carries
+// the generation and load time so operators can verify a reload landed.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	// Degraded, not dead: quarantined hours mean the served tables were
-	// computed from an incomplete dataset, which monitors should see.
+	snap := s.snap.Load()
 	status := "ok"
-	if s.res.Correlate.Ingest.HoursQuarantined > 0 {
+	code := http.StatusOK
+	if snap.res.Correlate.Ingest.HoursQuarantined > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": status,
-		"hours":  s.ds.Scenario.Hours,
-		"scale":  s.ds.Scenario.Scale,
-		"ingest": s.res.Correlate.Ingest,
-	})
+	body := map[string]any{
+		"hours":  snap.ds.Scenario.Hours,
+		"scale":  snap.ds.Scenario.Scale,
+		"ingest": snap.res.Correlate.Ingest,
+		"snapshot": map[string]any{
+			"generation": snap.Generation,
+			"loadedAt":   snap.LoadedAt.UTC().Format(time.RFC3339),
+		},
+	}
+	if f := s.reloadFail.Load(); f != nil {
+		status = "degraded"
+		body["lastReloadError"] = map[string]any{
+			"error": f.msg,
+			"at":    f.at.UTC().Format(time.RFC3339),
+		}
+	}
+	if s.limiter != nil {
+		body["admission"] = s.limiter.Stats()
+	}
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	body["status"] = status
+	writeJSON(w, code, body)
 }
 
-func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request) {
-	bs := s.res.Analyzer.Backscatter()
+func (sn *Snapshot) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	bs := sn.res.Analyzer.Backscatter()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"summary":     s.res.Summary,
+		"summary":     sn.res.Summary,
 		"backscatter": bs,
-		"statTests":   s.res.StatTests,
+		"statTests":   sn.res.StatTests,
 	})
 }
 
@@ -172,13 +295,13 @@ type deviceDTO struct {
 	UDP         uint64   `json:"udpPackets"`
 }
 
-func (s *Server) deviceDTO(id int) deviceDTO {
-	d := s.ds.Inventory.At(id)
-	st := s.res.Correlate.Devices[id]
+func (sn *Snapshot) deviceDTO(id int) deviceDTO {
+	d := sn.ds.Inventory.At(id)
+	st := sn.res.Correlate.Devices[id]
 	dto := deviceDTO{
 		ID: id, IP: d.IP.String(),
 		Category: d.Category.String(), Type: d.Type.String(),
-		Country: d.Country, ISP: s.ds.Registry.ISPs[d.ISP].Name,
+		Country: d.Country, ISP: sn.ds.Registry.ISPs[d.ISP].Name,
 		Services: d.Services,
 	}
 	if st != nil {
@@ -191,7 +314,7 @@ func (s *Server) deviceDTO(id int) deviceDTO {
 	return dto
 }
 
-func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleDevices(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	country := q.Get("country")
 	catFilter := q.Get("category")
@@ -208,9 +331,9 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ids := make([]int, 0, len(s.res.Correlate.Devices))
-	for id := range s.res.Correlate.Devices {
-		d := s.ds.Inventory.At(id)
+	ids := make([]int, 0, len(sn.res.Correlate.Devices))
+	for id := range sn.res.Correlate.Devices {
+		d := sn.ds.Inventory.At(id)
 		if country != "" && d.Country != country {
 			continue
 		}
@@ -230,7 +353,7 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]deviceDTO, len(ids))
 	for i, id := range ids {
-		out[i] = s.deviceDTO(id)
+		out[i] = sn.deviceDTO(id)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"total":   total,
@@ -239,18 +362,18 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleDevice(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad device id")
 		return
 	}
-	if _, ok := s.res.Correlate.Devices[id]; !ok {
+	if _, ok := sn.res.Correlate.Devices[id]; !ok {
 		writeError(w, http.StatusNotFound, "device not inferred")
 		return
 	}
-	dto := s.deviceDTO(id)
-	threats := s.ds.Threat.CategoriesOf(s.ds.Inventory.At(id).IP)
+	dto := sn.deviceDTO(id)
+	threats := sn.ds.Threat.CategoriesOf(sn.ds.Inventory.At(id).IP)
 	cats := make([]string, len(threats))
 	for i, c := range threats {
 		cats[i] = c.String()
@@ -261,13 +384,13 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleThreats(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleThreats(w http.ResponseWriter, r *http.Request) {
 	ip, err := netx.ParseAddr(r.PathValue("ip"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad IP")
 		return
 	}
-	events := s.ds.Threat.Query(ip)
+	events := sn.ds.Threat.Query(ip)
 	type eventDTO struct {
 		Category string `json:"category"`
 		Source   string `json:"source"`
@@ -280,7 +403,7 @@ func (s *Server) handleThreats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ip": ip.String(), "events": out})
 }
 
-func (s *Server) handleSpikes(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleSpikes(w http.ResponseWriter, r *http.Request) {
 	threshold := 8.0
 	if v := r.URL.Query().Get("threshold"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
@@ -290,7 +413,7 @@ func (s *Server) handleSpikes(w http.ResponseWriter, r *http.Request) {
 		}
 		threshold = f
 	}
-	spikes := s.res.Analyzer.DetectDoSSpikes(threshold)
+	spikes := sn.res.Analyzer.DetectDoSSpikes(threshold)
 	type spikeDTO struct {
 		StartHour int     `json:"startHour"`
 		EndHour   int     `json:"endHour"`
@@ -302,7 +425,7 @@ func (s *Server) handleSpikes(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]spikeDTO, len(spikes))
 	for i, sp := range spikes {
-		d := s.ds.Inventory.At(sp.TopDevice)
+		d := sn.ds.Inventory.At(sp.TopDevice)
 		out[i] = spikeDTO{
 			StartHour: sp.StartHour, EndHour: sp.EndHour, Packets: sp.Packets,
 			Victim: sp.TopDevice, Share: sp.TopShare,
@@ -312,19 +435,19 @@ func (s *Server) handleSpikes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"threshold": threshold, "spikes": out})
 }
 
-func (s *Server) handleTCPPorts(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleTCPPorts(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"services": s.res.Analyzer.TopScanServices(analysis.DefaultScanServices()),
+		"services": sn.res.Analyzer.TopScanServices(analysis.DefaultScanServices()),
 	})
 }
 
-func (s *Server) handleUDPPorts(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleUDPPorts(w http.ResponseWriter, r *http.Request) {
 	n := parseIntDefault(r.URL.Query().Get("n"), 10)
 	if n < 1 || n > 1000 {
 		writeError(w, http.StatusBadRequest, "n must be 1..1000")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ports": s.res.Analyzer.TopUDPPorts(n)})
+	writeJSON(w, http.StatusOK, map[string]any{"ports": sn.res.Analyzer.TopUDPPorts(n)})
 }
 
 // Signature is a derived IoT attack signature (the paper's contribution 2:
@@ -338,9 +461,9 @@ type Signature struct {
 	Realm       string   `json:"dominantRealm"`
 }
 
-func (s *Server) handleSignatures(w http.ResponseWriter, _ *http.Request) {
+func (sn *Snapshot) handleSignatures(w http.ResponseWriter, _ *http.Request) {
 	var sigs []Signature
-	for _, row := range s.res.Analyzer.TopScanServices(analysis.DefaultScanServices()) {
+	for _, row := range sn.res.Analyzer.TopScanServices(analysis.DefaultScanServices()) {
 		if row.Packets == 0 {
 			continue
 		}
@@ -354,7 +477,7 @@ func (s *Server) handleSignatures(w http.ResponseWriter, _ *http.Request) {
 			Realm: realm,
 		})
 	}
-	for _, row := range s.res.Analyzer.TopUDPPorts(10) {
+	for _, row := range sn.res.Analyzer.TopUDPPorts(10) {
 		sigs = append(sigs, Signature{
 			Name:     fmt.Sprintf("udp-%d", row.Port),
 			Protocol: "udp", Ports: []uint16{row.Port},
@@ -364,8 +487,8 @@ func (s *Server) handleSignatures(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"signatures": sigs})
 }
 
-func (s *Server) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
-	campaigns, err := campaign.Detect(s.res.Correlate, campaign.DefaultConfig())
+func (sn *Snapshot) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
+	campaigns, err := campaign.Detect(sn.res.Correlate, campaign.DefaultConfig())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -375,23 +498,23 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
 
 // handleReports serves the per-ISP abuse notification bundles (the paper's
 // "IoT-tailored notifications ... permitting rapid remediation").
-func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+func (sn *Snapshot) handleReports(w http.ResponseWriter, r *http.Request) {
 	minDevices := parseIntDefault(r.URL.Query().Get("minDevices"), 1)
 	if minDevices < 1 {
 		writeError(w, http.StatusBadRequest, "minDevices must be >= 1")
 		return
 	}
-	bundles := notify.Build(s.res.Correlate, s.ds.Inventory, s.ds.Registry,
-		s.ds.Threat, notify.Config{MinDevices: minDevices, MinPackets: 1})
+	bundles := notify.Build(sn.res.Correlate, sn.ds.Inventory, sn.ds.Registry,
+		sn.ds.Threat, notify.Config{MinDevices: minDevices, MinPackets: 1})
 	writeJSON(w, http.StatusOK, map[string]any{"reports": bundles})
 }
 
-func (s *Server) handleMalware(w http.ResponseWriter, _ *http.Request) {
+func (sn *Snapshot) handleMalware(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"hashes":   s.res.Malware.Hashes,
-		"domains":  s.res.Malware.Domains,
-		"families": s.res.Malware.Families,
-		"devices":  s.res.Malware.MatchedDevices,
+		"hashes":   sn.res.Malware.Hashes,
+		"domains":  sn.res.Malware.Domains,
+		"families": sn.res.Malware.Families,
+		"devices":  sn.res.Malware.MatchedDevices,
 	})
 }
 

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"iotscope/internal/flowtuple"
+)
+
+// VerifyHours replays every hour file of the dataset end to end with
+// flowtuple.Verify (header, framing, footer count, gzip checksum) and
+// returns the first failure, wrapped with its hour. This is the
+// validation gate hot reload runs before committing to a snapshot: a
+// dataset that fails verification must never replace one that serves.
+func (ds *Dataset) VerifyHours() error {
+	for h := 0; h < ds.Scenario.Hours; h++ {
+		if _, err := flowtuple.Verify(flowtuple.HourPath(ds.Dir, h)); err != nil {
+			return fmt.Errorf("core: verify hour %d: %w", h, err)
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot opens the dataset at dir, verifies every hour file, and
+// runs the full analysis with the dataset's own scale/seed configuration.
+// It is the one-call snapshot loader for serving: nothing is returned
+// unless the whole dataset read cleanly and analyzed, so a caller can
+// atomically swap the pair in without ever serving a half-loaded world.
+func LoadSnapshot(dir string) (*Dataset, *Results, error) {
+	ds, err := Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ds.VerifyHours(); err != nil {
+		return nil, nil, err
+	}
+	cfg := DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
+	res, err := ds.Analyze(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, res, nil
+}

@@ -1,0 +1,70 @@
+package correlate
+
+// Clone returns a deep copy of the result: every map, slice, and nested
+// accumulator is duplicated, so the copy can be published to concurrent
+// readers (e.g. a serving snapshot) while the original keeps mutating.
+func (r *Result) Clone() *Result {
+	cp := &Result{
+		Hours:      r.Hours,
+		Background: r.Background,
+		Devices:    make(map[int]*DeviceStats, len(r.Devices)),
+	}
+	for id, ds := range r.Devices {
+		d := *ds
+		if ds.BackscatterHourly != nil {
+			d.BackscatterHourly = make(map[int]uint64, len(ds.BackscatterHourly))
+			for h, v := range ds.BackscatterHourly {
+				d.BackscatterHourly[h] = v
+			}
+		}
+		cp.Devices[id] = &d
+	}
+	cp.Hourly = append([]HourStats(nil), r.Hourly...)
+	if r.UDPPorts != nil {
+		cp.UDPPorts = make(map[uint16]*PortAgg, len(r.UDPPorts))
+		for port, agg := range r.UDPPorts {
+			a := &PortAgg{Packets: agg.Packets, Devices: make(map[int]struct{}, len(agg.Devices))}
+			for id := range agg.Devices {
+				a.Devices[id] = struct{}{}
+			}
+			cp.UDPPorts[port] = a
+		}
+	}
+	if r.TCPScanPorts != nil {
+		cp.TCPScanPorts = make(map[uint16]*TCPPortAgg, len(r.TCPScanPorts))
+		for port, agg := range r.TCPScanPorts {
+			a := &TCPPortAgg{
+				Packets:         agg.Packets,
+				PacketsConsumer: agg.PacketsConsumer,
+				DevicesConsumer: make(map[int]struct{}, len(agg.DevicesConsumer)),
+				DevicesCPS:      make(map[int]struct{}, len(agg.DevicesCPS)),
+			}
+			for id := range agg.DevicesConsumer {
+				a.DevicesConsumer[id] = struct{}{}
+			}
+			for id := range agg.DevicesCPS {
+				a.DevicesCPS[id] = struct{}{}
+			}
+			cp.TCPScanPorts[port] = a
+		}
+	}
+	if r.TCPPortHour != nil {
+		cp.TCPPortHour = make(map[PortHour]uint64, len(r.TCPPortHour))
+		for k, v := range r.TCPPortHour {
+			cp.TCPPortHour[k] = v
+		}
+	}
+	cp.Ingest = r.Ingest
+	cp.Ingest.Faults = append([]HourFault(nil), r.Ingest.Faults...)
+	return cp
+}
+
+// Snapshot exports an immutable copy of the running incremental result —
+// the hook a long-running server uses to publish near-real-time state to
+// consumers while ingestion continues. Unlike Result(), the returned
+// value is fully detached: later Ingest calls never mutate it.
+func (inc *Incremental) Snapshot() *Result {
+	cp := inc.res.Clone()
+	cp.Background.Sources = inc.bg.Estimate()
+	return cp
+}

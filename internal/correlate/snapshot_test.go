@@ -1,0 +1,112 @@
+package correlate
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"iotscope/internal/wgen"
+)
+
+// buildSnapshotWorld renders a small dataset for snapshot tests.
+func buildSnapshotWorld(t *testing.T) (string, *Correlator, int) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "corr-snap-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	sc := wgen.Default(0.002, 77)
+	sc.Hours = 6
+	g, err := wgen.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, New(g.Inventory(), Options{}), sc.Hours
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	dir, c, hours := buildSnapshotWorld(t)
+	inc, err := c.NewIncremental(hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 3; h++ {
+		if _, err := inc.Ingest(dir, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := inc.Snapshot()
+	devs := len(snap.Devices)
+	pkts := snap.TotalIoTPackets()
+	if devs == 0 || pkts == 0 {
+		t.Fatal("empty snapshot after 3 ingested hours")
+	}
+
+	// Further ingestion must not leak into the exported snapshot.
+	for h := 3; h < hours; h++ {
+		if _, err := inc.Ingest(dir, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(snap.Devices) != devs || snap.TotalIoTPackets() != pkts {
+		t.Fatalf("snapshot mutated by later ingest: devices %d->%d packets %d->%d",
+			devs, len(snap.Devices), pkts, snap.TotalIoTPackets())
+	}
+	live := inc.Result()
+	if live.TotalIoTPackets() <= pkts {
+		t.Fatal("live result did not grow past the snapshot")
+	}
+
+	// Mutating the snapshot must not reach the live result either.
+	for _, d := range snap.Devices {
+		d.Records += 1 << 40
+		for h := range d.BackscatterHourly {
+			d.BackscatterHourly[h] += 1 << 40
+		}
+		break
+	}
+	for _, d := range live.Devices {
+		if d.Records >= 1<<40 {
+			t.Fatal("snapshot mutation visible in live result")
+		}
+	}
+}
+
+func TestCloneEqualsOriginal(t *testing.T) {
+	dir, c, hours := buildSnapshotWorld(t)
+	inc, err := c.NewIncremental(hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < hours; h++ {
+		if _, err := inc.Ingest(dir, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orig := inc.Result()
+	cp := orig.Clone()
+	if !reflect.DeepEqual(orig.Devices, cp.Devices) {
+		t.Fatal("device stats differ after clone")
+	}
+	if !reflect.DeepEqual(orig.Hourly, cp.Hourly) {
+		t.Fatal("hourly stats differ after clone")
+	}
+	if !reflect.DeepEqual(orig.UDPPorts, cp.UDPPorts) ||
+		!reflect.DeepEqual(orig.TCPScanPorts, cp.TCPScanPorts) ||
+		!reflect.DeepEqual(orig.TCPPortHour, cp.TCPPortHour) {
+		t.Fatal("port aggregates differ after clone")
+	}
+	if orig.TotalIoTPackets() != cp.TotalIoTPackets() {
+		t.Fatal("packet totals differ after clone")
+	}
+	// Shared pointers would make the copies equal but not detached.
+	for id := range orig.Devices {
+		if orig.Devices[id] == cp.Devices[id] {
+			t.Fatal("clone shares DeviceStats pointers")
+		}
+	}
+}

@@ -130,6 +130,72 @@ func TestThreatCorroboration(t *testing.T) {
 	}
 }
 
+// A device with no corroborating intel must render cleanly: no
+// "corroborated" line and no empty-services parenthetical.
+func TestRenderZeroThreatFlags(t *testing.T) {
+	b := Bundle{
+		ISP: "Example-Net", ASN: 64500, Country: "DE",
+		Devices: []DeviceEntry{{
+			Device: 7, IP: "10.1.2.3", Category: "consumer", Type: "camera",
+			FirstSeen: 4, Packets: 123, Behaviours: []string{"tcp-scanning"},
+		}},
+		Packets: 123,
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "corroborated by threat intelligence") {
+		t.Fatalf("flag-free device rendered a corroboration line:\n%s", out)
+	}
+	if strings.Contains(out, "()") {
+		t.Fatalf("empty services rendered as ():\n%s", out)
+	}
+	if !strings.Contains(out, "1 compromised IoT device(s)") {
+		t.Fatalf("device count missing:\n%s", out)
+	}
+}
+
+// Operators with empty metadata (unknown ISP name, zero ASN, no country)
+// still produce a well-formed report rather than a panic or garbage.
+func TestRenderEmptyISPMetadata(t *testing.T) {
+	b := Bundle{
+		Devices: []DeviceEntry{{
+			Device: 1, IP: "192.0.2.1", Category: "cps", Type: "plc",
+			Packets: 9, Behaviours: []string{"udp-probing"},
+		}},
+		Packets: 9,
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "To: abuse contact,  (AS0, )") {
+		t.Fatalf("empty-metadata header malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "192.0.2.1") {
+		t.Fatalf("device line missing:\n%s", out)
+	}
+}
+
+// MinDevices above every operator's device count yields zero bundles, and
+// MinDevices below 1 is normalized up rather than panicking.
+func TestBuildMinDevicesBoundaries(t *testing.T) {
+	g, res, _ := buildWorld(t)
+	if got := Build(res, g.Inventory(), g.Registry(), nil,
+		Config{MinDevices: 1 << 30, MinPackets: 1}); len(got) != 0 {
+		t.Fatalf("MinDevices 2^30 produced %d bundles", len(got))
+	}
+	zero := Build(res, g.Inventory(), g.Registry(), nil, Config{MinDevices: 0, MinPackets: 1})
+	one := Build(res, g.Inventory(), g.Registry(), nil, Config{MinDevices: 1, MinPackets: 1})
+	if len(zero) != len(one) {
+		t.Fatalf("MinDevices 0 (%d bundles) not normalized to 1 (%d bundles)",
+			len(zero), len(one))
+	}
+}
+
 func TestRender(t *testing.T) {
 	g, res, repo := buildWorld(t)
 	bundles := Build(res, g.Inventory(), g.Registry(), repo, DefaultConfig())

@@ -1,0 +1,208 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterValidation(t *testing.T) {
+	if _, err := NewLimiter(0, time.Second); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewRateLimiter(0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewRateLimiter(1, 0); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+}
+
+func TestLimiterAcquireRelease(t *testing.T) {
+	l, err := NewLimiter(2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Acquire() || !l.Acquire() {
+		t.Fatal("slots not granted")
+	}
+	if l.Acquire() {
+		t.Fatal("over-capacity acquire granted")
+	}
+	if l.InFlight() != 2 {
+		t.Fatalf("inflight %d", l.InFlight())
+	}
+	l.Release()
+	if !l.Acquire() {
+		t.Fatal("released slot not reusable")
+	}
+	st := l.Stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.Capacity != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLimiterMiddlewareShedsWith503(t *testing.T) {
+	l, err := NewLimiter(1, 7*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Only the workload path stalls; the exempt health path must
+		// answer instantly even while the workload pins the only slot.
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}), "/healthz")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/x", nil))
+	}()
+	<-started
+
+	// Slot held: the next request sheds with 503 + Retry-After.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/x", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+		t.Fatalf("shed body %q (%v)", rec.Body.String(), err)
+	}
+
+	// Exempt paths bypass the cap even while saturated.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code == http.StatusServiceUnavailable {
+		t.Fatal("exempt path shed")
+	}
+
+	close(release)
+	wg.Wait()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/x", nil))
+	if rec.Code == http.StatusServiceUnavailable {
+		t.Fatal("shed after slot freed")
+	}
+}
+
+func TestRateLimiterBucketSemantics(t *testing.T) {
+	rl, err := NewRateLimiter(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	rl.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.Allow("alice"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := rl.Allow("alice")
+	if ok {
+		t.Fatal("over-burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter %v", retry)
+	}
+
+	// Keys are independent.
+	if ok, _ := rl.Allow("bob"); !ok {
+		t.Fatal("independent key throttled")
+	}
+
+	// Refill at 1 token/s.
+	now = now.Add(2 * time.Second)
+	if ok, _ := rl.Allow("alice"); !ok {
+		t.Fatal("no refill after 2s")
+	}
+	if ok, _ := rl.Allow("alice"); !ok {
+		t.Fatal("second refilled token missing")
+	}
+	if ok, _ := rl.Allow("alice"); ok {
+		t.Fatal("refill exceeded elapsed time")
+	}
+}
+
+func TestRateLimiterPrunesIdleBuckets(t *testing.T) {
+	rl, err := NewRateLimiter(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	rl.SetClock(func() time.Time { return now })
+	for i := 0; i < maxBuckets; i++ {
+		rl.Allow(string(rune('a')) + itoa(i))
+	}
+	// All idle buckets have fully refilled; the next new key prunes them.
+	now = now.Add(time.Minute)
+	rl.Allow("fresh")
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > 1 {
+		t.Fatalf("%d buckets survived prune", n)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestWithTimeoutPropagatesDeadline(t *testing.T) {
+	var deadline time.Time
+	var hasDeadline bool
+	h := WithTimeout(50*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadline, hasDeadline = r.Context().Deadline()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !hasDeadline {
+		t.Fatal("no deadline propagated")
+	}
+	if until := time.Until(deadline); until > 50*time.Millisecond {
+		t.Fatalf("deadline too far out: %v", until)
+	}
+}
+
+func TestShedResponseRoundsUp(t *testing.T) {
+	rec := httptest.NewRecorder()
+	ShedResponse(rec, http.StatusTooManyRequests, 1500*time.Millisecond, "slow down")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatal(rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+	// Sub-second hints still advertise at least one second.
+	rec = httptest.NewRecorder()
+	ShedResponse(rec, http.StatusServiceUnavailable, 10*time.Millisecond, "x")
+	if rec.Header().Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+}
