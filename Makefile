@@ -7,7 +7,7 @@ GO ?= go
 RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
 	./internal/resilience ./cmd/iotwatch ./cmd/iotserve
 
-.PHONY: check build test vet race fuzz bench chaos
+.PHONY: check build test vet race fuzz bench benchall chaos
 
 # The full gate: tier-1 build/test plus vet and the race suite.
 check: vet build test race
@@ -34,5 +34,18 @@ fuzz:
 chaos:
 	$(GO) test -race -run 'TestChaos' ./cmd/iotserve ./internal/apiserve
 
+# Hot-path acceptance benchmarks, recorded as a committed benchstat-
+# comparable JSON file (see docs/PERFORMANCE.md). Compare two runs with:
+#   go run ./tools/bench2json -extract BENCH_<old>.json > old.txt
+#   go run ./tools/bench2json -extract BENCH_<new>.json > new.txt
+#   benchstat old.txt new.txt
+BENCH_DATE ?= $(shell date +%F)
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkIncrementalIngest$$' \
+		-benchmem -benchtime 2s -count 3 . \
+		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) > BENCH_$(BENCH_DATE).json
+	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE).json
+
+# Every benchmark in the repo, text output only.
+benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -207,6 +207,7 @@ func BenchmarkStatTests(b *testing.B) {
 func BenchmarkPipelineCorrelate(b *testing.B) {
 	ds, _ := benchFixture(b)
 	c := correlate.New(ds.Inventory, correlate.Options{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.ProcessDataset(ds.Dir); err != nil {
@@ -218,6 +219,7 @@ func BenchmarkPipelineCorrelate(b *testing.B) {
 // BenchmarkPipelineFullReport measures rendering the entire reproduction.
 func BenchmarkPipelineFullReport(b *testing.B) {
 	ds, res := benchFixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
@@ -584,6 +586,7 @@ func BenchmarkIncrementalIngest(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%len(hours) == 0 {

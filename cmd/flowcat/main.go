@@ -20,6 +20,7 @@ import (
 
 	"iotscope/internal/classify"
 	"iotscope/internal/flowtuple"
+	"iotscope/internal/profiling"
 )
 
 func main() {
@@ -32,15 +33,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("flowcat", flag.ContinueOnError)
 	var (
-		file   = fs.String("file", "", "one flowtuple file to dump")
-		n      = fs.Int("n", 20, "records to print with -file (0 = all)")
-		data   = fs.String("data", "", "dataset directory to summarize")
-		hour   = fs.Int("hour", -1, "restrict -data summary to one hour")
-		verify = fs.Bool("verify", false, "integrity-check instead of printing records")
+		file    = fs.String("file", "", "one flowtuple file to dump")
+		n       = fs.Int("n", 20, "records to print with -file (0 = all)")
+		data    = fs.String("data", "", "dataset directory to summarize")
+		hour    = fs.Int("hour", -1, "restrict -data summary to one hour")
+		verify  = fs.Bool("verify", false, "integrity-check instead of printing records")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "flowcat:", err)
+		}
+	}()
 	switch {
 	case *verify && *file != "":
 		return verifyFiles([]string{*file})
@@ -132,10 +144,13 @@ func summarize(dir string, only int) error {
 		var recs uint64
 		var pkts [classify.NumClasses]uint64
 		var total uint64
-		err := flowtuple.WalkHour(dir, h, func(rec flowtuple.Record) error {
-			recs++
-			total += uint64(rec.Packets)
-			pkts[classify.Record(rec).Index()] += uint64(rec.Packets)
+		err := flowtuple.WalkHourBatch(dir, h, func(batch []flowtuple.Record) error {
+			recs += uint64(len(batch))
+			for i := range batch {
+				rec := &batch[i]
+				total += uint64(rec.Packets)
+				pkts[classify.Record(*rec).Index()] += uint64(rec.Packets)
+			}
 			return nil
 		})
 		if err != nil {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	iotinfer -data DIR [-json] [-workers N] [-sketch]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	"iotscope/internal/core"
+	"iotscope/internal/profiling"
 	"iotscope/internal/report"
 )
 
@@ -30,6 +32,8 @@ func run(args []string) error {
 		asJSON  = fs.Bool("json", false, "emit machine-readable JSON")
 		workers = fs.Int("workers", 0, "concurrent hour files (0 = GOMAXPROCS)")
 		sketch  = fs.Bool("sketch", false, "use HyperLogLog destination counters")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,6 +41,15 @@ func run(args []string) error {
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "iotinfer:", err)
+		}
+	}()
 	ds, err := core.Open(*data)
 	if err != nil {
 		return err

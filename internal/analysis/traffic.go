@@ -146,11 +146,11 @@ func (a *Analyzer) TopScanServices(defs []ScanServiceDef) []ScanServiceRow {
 			}
 			row.Packets += pa.Packets
 			consPkts += pa.PacketsConsumer
-			for id := range pa.DevicesConsumer {
-				consDevs[id] = struct{}{}
+			for _, id := range pa.DevicesConsumer {
+				consDevs[int(id)] = struct{}{}
 			}
-			for id := range pa.DevicesCPS {
-				cpsDevs[id] = struct{}{}
+			for _, id := range pa.DevicesCPS {
+				cpsDevs[int(id)] = struct{}{}
 			}
 		}
 		row.ConsumerDevices = len(consDevs)

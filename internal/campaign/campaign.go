@@ -186,11 +186,11 @@ func buildProfiles(res *correlate.Result, cfg Config) []deviceProfile {
 			}
 			m[port] += share
 		}
-		for id := range agg.DevicesConsumer {
-			add(id)
+		for _, id := range agg.DevicesConsumer {
+			add(int(id))
 		}
-		for id := range agg.DevicesCPS {
-			add(id)
+		for _, id := range agg.DevicesCPS {
+			add(int(id))
 		}
 	}
 

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"os"
+	"slices"
 	"testing"
 
 	"iotscope/internal/analysis"
@@ -18,15 +19,15 @@ func synthetic(assign map[int][]uint16, pktsPerPort uint64) *correlate.Result {
 		for _, port := range ports {
 			agg := res.TCPScanPorts[port]
 			if agg == nil {
-				agg = &correlate.TCPPortAgg{
-					DevicesConsumer: make(map[int]struct{}),
-					DevicesCPS:      make(map[int]struct{}),
-				}
+				agg = &correlate.TCPPortAgg{}
 				res.TCPScanPorts[port] = agg
 			}
-			agg.DevicesConsumer[id] = struct{}{}
+			agg.DevicesConsumer = append(agg.DevicesConsumer, int32(id))
 			agg.Packets += pktsPerPort
 		}
+	}
+	for _, agg := range res.TCPScanPorts {
+		slices.Sort(agg.DevicesConsumer)
 	}
 	return res
 }

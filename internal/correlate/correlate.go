@@ -2,14 +2,12 @@ package correlate
 
 import (
 	"fmt"
-	"io"
+	"math/bits"
 	"runtime"
 	"sync"
 
-	"iotscope/internal/classify"
 	"iotscope/internal/devicedb"
 	"iotscope/internal/flowtuple"
-	"iotscope/internal/netx"
 	"iotscope/internal/sketch"
 )
 
@@ -41,14 +39,41 @@ func (o Options) withDefaults() Options {
 type Correlator struct {
 	inv  *devicedb.Inventory
 	opts Options
+
+	// Hot-path copies of the inventory: a flat IP→index hash table for the
+	// per-record join and a dense category array, so the inner loop never
+	// copies a Device value or queries a generic map.
+	ips    ipIndex
+	devCat []uint8
+
+	// scratch recycles hourScratch instances across hours; see dense.go.
+	scratch sync.Pool
 }
 
 // New returns a correlator over the inventory.
 func New(inv *devicedb.Inventory, opts Options) *Correlator {
-	return &Correlator{inv: inv, opts: opts.withDefaults()}
+	c := &Correlator{inv: inv, opts: opts.withDefaults()}
+	devs := inv.All()
+	c.devCat = make([]uint8, len(devs))
+	for i := range devs {
+		c.devCat[i] = uint8(devs[i].Category)
+	}
+	c.ips = buildIPIndex(devs)
+	return c
 }
 
-// ProcessDataset correlates every hourly file in dir.
+// hourOutcome is what a worker hands the merger: a completed dense partial
+// or the error that stopped the hour.
+type hourOutcome struct {
+	hour int
+	s    *hourScratch
+	err  error
+}
+
+// ProcessDataset correlates every hourly file in dir. Hour files are
+// decoded by a bounded worker pool; completed partials flow through a
+// channel to a single merger goroutine, so workers never contend on the
+// global result and no merge lock exists.
 func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 	hours, err := flowtuple.DatasetHours(dir)
 	if err != nil {
@@ -59,50 +84,61 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 	}
 	maxHour := hours[len(hours)-1]
 	res := newResult(maxHour + 1)
-
-	var (
-		mu      sync.Mutex
-		errHour = -1
-		hourErr error
-		wg      sync.WaitGroup
-	)
-	sem := make(chan struct{}, c.opts.Workers)
 	bgSources, err := sketch.NewHLL(c.opts.SketchPrecision)
 	if err != nil {
 		return nil, err
 	}
+
+	var (
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, c.opts.Workers)
+		parts   = make(chan hourOutcome, c.opts.Workers)
+		done    = make(chan struct{})
+		errHour = -1
+		hourErr error
+		st      = newMergeState()
+	)
+	// The merger: sole owner of res until done closes.
+	go func() {
+		defer close(done)
+		for o := range parts {
+			if o.err != nil {
+				// Lenient: the hour's partial aggregate was dropped whole
+				// (nothing reaches the merge), the fault recorded, the rest
+				// of the dataset still ingested. Strict: remember the
+				// lowest-hour error for a deterministic failure.
+				if c.opts.FaultPolicy == Lenient {
+					res.Ingest.noteFailure(o.hour, o.err, IsRetryable(o.err))
+					res.Ingest.HoursQuarantined++
+					continue
+				}
+				if errHour == -1 || o.hour < errHour {
+					errHour, hourErr = o.hour, o.err
+				}
+				continue
+			}
+			res.Ingest.HoursOK++
+			mergeDense(res, o.s, bgSources, st)
+			c.putScratch(o.s)
+		}
+	}()
 	for _, hour := range hours {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(hour int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			part, err := c.processHourFile(dir, hour)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				// Lenient: the hour's partial aggregate is dropped whole
-				// (nothing was merged), the fault recorded, the rest of
-				// the dataset still ingested. Strict: remember the
-				// lowest-hour error for a deterministic failure.
-				if c.opts.FaultPolicy == Lenient {
-					res.Ingest.noteFailure(hour, err, IsRetryable(err))
-					res.Ingest.HoursQuarantined++
-					return
-				}
-				if errHour == -1 || hour < errHour {
-					errHour, hourErr = hour, err
-				}
-				return
-			}
-			res.Ingest.HoursOK++
-			mergePartial(res, part, bgSources)
+			s, err := c.processHourDense(dir, hour)
+			parts <- hourOutcome{hour: hour, s: s, err: err}
 		}(hour)
 	}
 	wg.Wait()
+	close(parts)
+	<-done
 	if hourErr != nil {
 		return nil, hourErr
 	}
+	st.finalizeResult(res)
 	res.Background.Sources = bgSources.Estimate()
 	return res, nil
 }
@@ -110,17 +146,21 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 // ProcessHour correlates a single hour file into a fresh partial Result —
 // useful for incremental pipelines and tests.
 func (c *Correlator) ProcessHour(dir string, hour int) (*Result, error) {
-	part, err := c.processHourFile(dir, hour)
+	s, err := c.processHourDense(dir, hour)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult(hour + 1)
 	bg, err := sketch.NewHLL(c.opts.SketchPrecision)
 	if err != nil {
+		c.putScratch(s)
 		return nil, err
 	}
 	res.Ingest.HoursOK = 1
-	mergePartial(res, part, bg)
+	st := newMergeState()
+	mergeDense(res, s, bg, st)
+	c.putScratch(s)
+	st.finalizeResult(res)
 	res.Background.Sources = bg.Estimate()
 	return res, nil
 }
@@ -140,38 +180,32 @@ func newResult(hours int) *Result {
 	return res
 }
 
-// hourPartial is the commutative partial aggregate for one hour file.
-type hourPartial struct {
-	hour       int
-	stats      HourStats
-	devices    map[int]*DeviceStats
-	udpPorts   map[uint16]*PortAgg
-	tcpPorts   map[uint16]*TCPPortAgg
-	portHour   map[PortHour]uint64
-	bgRecords  uint64
-	bgPackets  uint64
-	bgSrcHLL   *sketch.HLL
-	perDevPort map[int]map[uint16]struct{} // per-device TCP scan ports this hour
-	perDevDest map[int]map[netx.Addr]struct{}
-}
-
 // destCounter counts unique destinations exactly or approximately.
 type destCounter interface {
 	add(v uint32)
 	estimate() uint64
+	reset()
 }
 
-type exactCounter struct{ m map[uint32]struct{} }
+// exactCounter is the exact mode, backed by the same open-addressed set the
+// rest of the dense path uses.
+type exactCounter struct{ s u64set }
 
-func newExactCounter() *exactCounter { return &exactCounter{m: make(map[uint32]struct{}, 1024)} }
+func newExactCounter() *exactCounter {
+	e := &exactCounter{}
+	e.s.init(1024)
+	return e
+}
 
-func (e *exactCounter) add(v uint32)     { e.m[v] = struct{}{} }
-func (e *exactCounter) estimate() uint64 { return uint64(len(e.m)) }
+func (e *exactCounter) add(v uint32)     { e.s.add(uint64(v)) }
+func (e *exactCounter) estimate() uint64 { return uint64(e.s.used) }
+func (e *exactCounter) reset()           { e.s.reset() }
 
 type hllCounter struct{ h *sketch.HLL }
 
 func (h hllCounter) add(v uint32)     { h.h.AddAddr(v) }
 func (h hllCounter) estimate() uint64 { return h.h.Estimate() }
+func (h hllCounter) reset()           { h.h.Reset() }
 
 func (c *Correlator) newDestCounter() destCounter {
 	if c.opts.UseSketches {
@@ -190,243 +224,18 @@ func (b *portBitset) add(p uint16) {
 	b[p>>6] |= 1 << (p & 63)
 }
 
+func (b *portBitset) has(p uint16) bool {
+	return b[p>>6]&(1<<(p&63)) != 0
+}
+
+func (b *portBitset) clear() {
+	*b = portBitset{}
+}
+
 func (b *portBitset) count() uint64 {
 	var n uint64
 	for _, w := range b {
-		n += uint64(popcount(w))
+		n += uint64(bits.OnesCount64(w))
 	}
 	return n
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
-
-// processHourFile streams one hour file into a partial aggregate.
-func (c *Correlator) processHourFile(dir string, hour int) (*hourPartial, error) {
-	part := &hourPartial{
-		hour:       hour,
-		stats:      HourStats{Hour: hour},
-		devices:    make(map[int]*DeviceStats),
-		udpPorts:   make(map[uint16]*PortAgg),
-		tcpPorts:   make(map[uint16]*TCPPortAgg),
-		portHour:   make(map[PortHour]uint64),
-		perDevPort: make(map[int]map[uint16]struct{}),
-		perDevDest: make(map[int]map[netx.Addr]struct{}),
-	}
-	var err error
-	part.bgSrcHLL, err = sketch.NewHLL(c.opts.SketchPrecision)
-	if err != nil {
-		return nil, err
-	}
-
-	// Per-category scratch counters.
-	var (
-		active       [2]map[int]struct{}
-		udpDevs      [2]map[int]struct{}
-		scanDevs     [2]map[int]struct{}
-		udpDstIPs    [2]destCounter
-		udpDstPorts  [2]*portBitset
-		scanDstIPs   [2]destCounter
-		scanDstPorts [2]*portBitset
-	)
-	for i := 0; i < 2; i++ {
-		active[i] = make(map[int]struct{}, 1024)
-		udpDevs[i] = make(map[int]struct{}, 1024)
-		scanDevs[i] = make(map[int]struct{}, 1024)
-		udpDstIPs[i] = c.newDestCounter()
-		udpDstPorts[i] = &portBitset{}
-		scanDstIPs[i] = c.newDestCounter()
-		scanDstPorts[i] = &portBitset{}
-	}
-
-	rd, err := flowtuple.Open(flowtuple.HourPath(dir, hour))
-	if err != nil {
-		return nil, err
-	}
-	defer rd.Close()
-
-	for {
-		rec, err := rd.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		devIdx, isIoT := c.inv.LookupIP(netx.Addr(rec.SrcIP))
-		if !isIoT {
-			part.bgRecords++
-			part.bgPackets += uint64(rec.Packets)
-			part.bgSrcHLL.AddAddr(rec.SrcIP)
-			continue
-		}
-		dev := c.inv.At(devIdx)
-		cls := classify.Record(rec)
-		ci := int(dev.Category) - 1
-		pkts := uint64(rec.Packets)
-
-		part.stats.RecordsIoT++
-		cat := &part.stats.PerCat[ci]
-		cat.Packets[cls.Index()] += pkts
-		active[ci][devIdx] = struct{}{}
-
-		ds := part.devices[devIdx]
-		if ds == nil {
-			ds = &DeviceStats{ID: devIdx, FirstSeen: hour}
-			if day := hour / 24; day < 64 {
-				ds.DayMask = 1 << day
-			}
-			part.devices[devIdx] = ds
-		}
-		ds.Records++
-		ds.Packets[cls.Index()] += pkts
-
-		switch cls {
-		case classify.UDP:
-			udpDevs[ci][devIdx] = struct{}{}
-			udpDstIPs[ci].add(rec.DstIP)
-			udpDstPorts[ci].add(rec.DstPort)
-			pa := part.udpPorts[rec.DstPort]
-			if pa == nil {
-				pa = &PortAgg{Devices: make(map[int]struct{}, 4)}
-				part.udpPorts[rec.DstPort] = pa
-			}
-			pa.Packets += pkts
-			pa.Devices[devIdx] = struct{}{}
-		case classify.Backscatter:
-			if ds.BackscatterHourly == nil {
-				ds.BackscatterHourly = make(map[int]uint64, 4)
-			}
-			ds.BackscatterHourly[hour] += pkts
-		case classify.ScanTCP:
-			scanDevs[ci][devIdx] = struct{}{}
-			scanDstIPs[ci].add(rec.DstIP)
-			scanDstPorts[ci].add(rec.DstPort)
-			ta := part.tcpPorts[rec.DstPort]
-			if ta == nil {
-				ta = &TCPPortAgg{
-					DevicesConsumer: make(map[int]struct{}, 4),
-					DevicesCPS:      make(map[int]struct{}, 4),
-				}
-				part.tcpPorts[rec.DstPort] = ta
-			}
-			ta.Packets += pkts
-			if dev.Category == devicedb.Consumer {
-				ta.PacketsConsumer += pkts
-				ta.DevicesConsumer[devIdx] = struct{}{}
-			} else {
-				ta.DevicesCPS[devIdx] = struct{}{}
-			}
-			part.portHour[PortHour{Port: rec.DstPort, Hour: uint16(hour)}] += pkts
-
-			dp := part.perDevPort[devIdx]
-			if dp == nil {
-				dp = make(map[uint16]struct{}, 8)
-				part.perDevPort[devIdx] = dp
-			}
-			dp[rec.DstPort] = struct{}{}
-			dd := part.perDevDest[devIdx]
-			if dd == nil {
-				dd = make(map[netx.Addr]struct{}, 8)
-				part.perDevDest[devIdx] = dd
-			}
-			dd[netx.Addr(rec.DstIP)] = struct{}{}
-		}
-	}
-
-	for i := 0; i < 2; i++ {
-		cat := &part.stats.PerCat[i]
-		cat.ActiveDevices = len(active[i])
-		cat.UDPDevices = len(udpDevs[i])
-		cat.ScanDevices = len(scanDevs[i])
-		cat.UDPDstIPs = udpDstIPs[i].estimate()
-		cat.UDPDstPorts = udpDstPorts[i].count()
-		cat.ScanDstIPs = scanDstIPs[i].estimate()
-		cat.ScanDstPorts = scanDstPorts[i].count()
-	}
-	// Fold per-device port sweeps into running maxima.
-	for devIdx, ports := range part.perDevPort {
-		ds := part.devices[devIdx]
-		if n := len(ports); n > ds.MaxScanPorts {
-			ds.MaxScanPorts = n
-			ds.MaxScanPortsHour = hour
-			ds.MaxScanDests = len(part.perDevDest[devIdx])
-		}
-	}
-	return part, nil
-}
-
-// mergePartial folds an hour partial into the global result. All operations
-// commute, so merge order (and thus worker scheduling) cannot change the
-// outcome.
-func mergePartial(res *Result, part *hourPartial, bgSources *sketch.HLL) {
-	res.Hourly[part.hour] = part.stats
-	res.Background.Records += part.bgRecords
-	res.Background.Packets += part.bgPackets
-	bgSources.Merge(part.bgSrcHLL) //nolint:errcheck // same precision by construction
-
-	for id, d := range part.devices {
-		g := res.Devices[id]
-		if g == nil {
-			res.Devices[id] = d
-			continue
-		}
-		if d.FirstSeen < g.FirstSeen {
-			g.FirstSeen = d.FirstSeen
-		}
-		g.Records += d.Records
-		g.DayMask |= d.DayMask
-		for i := range g.Packets {
-			g.Packets[i] += d.Packets[i]
-		}
-		if d.BackscatterHourly != nil {
-			if g.BackscatterHourly == nil {
-				g.BackscatterHourly = d.BackscatterHourly
-			} else {
-				for h, v := range d.BackscatterHourly {
-					g.BackscatterHourly[h] += v
-				}
-			}
-		}
-		if d.MaxScanPorts > g.MaxScanPorts {
-			g.MaxScanPorts = d.MaxScanPorts
-			g.MaxScanPortsHour = d.MaxScanPortsHour
-			g.MaxScanDests = d.MaxScanDests
-		}
-	}
-	for port, pa := range part.udpPorts {
-		g := res.UDPPorts[port]
-		if g == nil {
-			res.UDPPorts[port] = pa
-			continue
-		}
-		g.Packets += pa.Packets
-		for id := range pa.Devices {
-			g.Devices[id] = struct{}{}
-		}
-	}
-	for port, ta := range part.tcpPorts {
-		g := res.TCPScanPorts[port]
-		if g == nil {
-			res.TCPScanPorts[port] = ta
-			continue
-		}
-		g.Packets += ta.Packets
-		g.PacketsConsumer += ta.PacketsConsumer
-		for id := range ta.DevicesConsumer {
-			g.DevicesConsumer[id] = struct{}{}
-		}
-		for id := range ta.DevicesCPS {
-			g.DevicesCPS[id] = struct{}{}
-		}
-	}
-	for ph, v := range part.portHour {
-		res.TCPPortHour[ph] += v
-	}
 }

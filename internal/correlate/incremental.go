@@ -24,6 +24,7 @@ type Incremental struct {
 	c           *Correlator
 	res         *Result
 	bg          *sketch.HLL
+	st          *mergeState
 	hours       map[int]bool
 	quarantined map[int]bool
 }
@@ -42,6 +43,7 @@ func (c *Correlator) NewIncremental(maxHours int) (*Incremental, error) {
 		c:           c,
 		res:         newResult(maxHours),
 		bg:          bg,
+		st:          newMergeState(),
 		hours:       make(map[int]bool, maxHours),
 		quarantined: make(map[int]bool),
 	}, nil
@@ -67,7 +69,7 @@ func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
 	if inc.quarantined[hour] {
 		return nil, fmt.Errorf("correlate: hour %d quarantined", hour)
 	}
-	part, err := inc.c.processHourFile(dir, hour)
+	part, err := inc.c.processHourDense(dir, hour)
 	if err != nil {
 		if inc.c.opts.FaultPolicy == Lenient {
 			retryable := IsRetryable(err)
@@ -80,13 +82,14 @@ func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
 		return nil, err
 	}
 	var fresh []int
-	for id := range part.devices {
-		if _, known := inc.res.Devices[id]; !known {
-			fresh = append(fresh, id)
+	for _, idx := range part.touched {
+		if !inc.st.knownDevice(idx) {
+			fresh = append(fresh, int(idx))
 		}
 	}
 	sort.Ints(fresh)
-	mergePartial(inc.res, part, inc.bg)
+	mergeDense(inc.res, part, inc.bg, inc.st)
+	inc.c.putScratch(part)
 	inc.hours[hour] = true
 	inc.res.Ingest.noteSuccess(hour)
 	return fresh, nil
@@ -117,8 +120,11 @@ func (inc *Incremental) Stats() IngestStats {
 func (inc *Incremental) HoursIngested() int { return len(inc.hours) }
 
 // Result returns the live running result. The caller must not retain it
-// across Ingest calls if it needs a stable snapshot.
+// across Ingest calls if it needs a stable snapshot. The per-port device
+// lists are materialized here (not per Ingest), so ingestion itself stays
+// allocation-light.
 func (inc *Incremental) Result() *Result {
+	inc.st.finalizeResult(inc.res)
 	inc.res.Background.Sources = inc.bg.Estimate()
 	return inc.res
 }

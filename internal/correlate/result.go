@@ -70,19 +70,23 @@ func (h *HourStats) Cat(c devicedb.Category) *CatHour {
 	return &h.PerCat[int(c)-1]
 }
 
-// PortAgg aggregates one UDP destination port (Table IV).
+// PortAgg aggregates one UDP destination port (Table IV). Devices lists the
+// distinct device indices that probed the port, ascending; it is nil when
+// empty and may share backing storage with other ports' lists, so treat it
+// as read-only.
 type PortAgg struct {
 	Packets uint64
-	Devices map[int]struct{}
+	Devices []int32
 }
 
 // TCPPortAgg aggregates one TCP-scanned destination port with realm splits
-// (Table V).
+// (Table V). The device lists follow the same contract as PortAgg.Devices:
+// ascending, nil when empty, possibly shared backing — read-only.
 type TCPPortAgg struct {
 	Packets         uint64
 	PacketsConsumer uint64
-	DevicesConsumer map[int]struct{}
-	DevicesCPS      map[int]struct{}
+	DevicesConsumer []int32
+	DevicesCPS      []int32
 }
 
 // PortHour keys the TCP scanning time series per (port, hour) for Fig. 10.

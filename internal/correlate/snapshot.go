@@ -21,30 +21,40 @@ func (r *Result) Clone() *Result {
 	}
 	cp.Hourly = append([]HourStats(nil), r.Hourly...)
 	if r.UDPPorts != nil {
+		// The aggregates and their device lists are carved from fresh slabs
+		// (one allocation each), mirroring how the merger builds them.
+		aggs := make([]PortAgg, len(r.UDPPorts))
+		total := 0
+		for _, agg := range r.UDPPorts {
+			total += len(agg.Devices)
+		}
+		backing := make([]int32, 0, total)
 		cp.UDPPorts = make(map[uint16]*PortAgg, len(r.UDPPorts))
+		i := 0
 		for port, agg := range r.UDPPorts {
-			a := &PortAgg{Packets: agg.Packets, Devices: make(map[int]struct{}, len(agg.Devices))}
-			for id := range agg.Devices {
-				a.Devices[id] = struct{}{}
-			}
+			a := &aggs[i]
+			i++
+			a.Packets = agg.Packets
+			a.Devices = carve(&backing, agg.Devices)
 			cp.UDPPorts[port] = a
 		}
 	}
 	if r.TCPScanPorts != nil {
+		aggs := make([]TCPPortAgg, len(r.TCPScanPorts))
+		total := 0
+		for _, agg := range r.TCPScanPorts {
+			total += len(agg.DevicesConsumer) + len(agg.DevicesCPS)
+		}
+		backing := make([]int32, 0, total)
 		cp.TCPScanPorts = make(map[uint16]*TCPPortAgg, len(r.TCPScanPorts))
+		i := 0
 		for port, agg := range r.TCPScanPorts {
-			a := &TCPPortAgg{
-				Packets:         agg.Packets,
-				PacketsConsumer: agg.PacketsConsumer,
-				DevicesConsumer: make(map[int]struct{}, len(agg.DevicesConsumer)),
-				DevicesCPS:      make(map[int]struct{}, len(agg.DevicesCPS)),
-			}
-			for id := range agg.DevicesConsumer {
-				a.DevicesConsumer[id] = struct{}{}
-			}
-			for id := range agg.DevicesCPS {
-				a.DevicesCPS[id] = struct{}{}
-			}
+			a := &aggs[i]
+			i++
+			a.Packets = agg.Packets
+			a.PacketsConsumer = agg.PacketsConsumer
+			a.DevicesConsumer = carve(&backing, agg.DevicesConsumer)
+			a.DevicesCPS = carve(&backing, agg.DevicesCPS)
 			cp.TCPScanPorts[port] = a
 		}
 	}
@@ -59,11 +69,23 @@ func (r *Result) Clone() *Result {
 	return cp
 }
 
+// carve copies src into the shared backing array and returns the copy as a
+// capacity-clamped sub-slice (nil stays nil).
+func carve(backing *[]int32, src []int32) []int32 {
+	if len(src) == 0 {
+		return nil
+	}
+	lo := len(*backing)
+	*backing = append(*backing, src...)
+	return (*backing)[lo:len(*backing):len(*backing)]
+}
+
 // Snapshot exports an immutable copy of the running incremental result —
 // the hook a long-running server uses to publish near-real-time state to
 // consumers while ingestion continues. Unlike Result(), the returned
 // value is fully detached: later Ingest calls never mutate it.
 func (inc *Incremental) Snapshot() *Result {
+	inc.st.finalizeResult(inc.res)
 	cp := inc.res.Clone()
 	cp.Background.Sources = inc.bg.Estimate()
 	return cp

@@ -30,15 +30,23 @@ func DecodeRecord(src []byte) (Record, error) {
 	if len(src) < RecordSize {
 		return Record{}, fmt.Errorf("flowtuple: short record: %d bytes", len(src))
 	}
-	return Record{
-		SrcIP:    binary.LittleEndian.Uint32(src[0:]),
-		DstIP:    binary.LittleEndian.Uint32(src[4:]),
-		SrcPort:  binary.LittleEndian.Uint16(src[8:]),
-		DstPort:  binary.LittleEndian.Uint16(src[10:]),
-		Protocol: src[12],
-		TTL:      src[13],
-		TCPFlags: src[14],
-		IPLen:    binary.LittleEndian.Uint16(src[15:]),
-		Packets:  binary.LittleEndian.Uint32(src[17:]),
-	}, nil
+	var r Record
+	decodeInto(&r, src)
+	return r, nil
+}
+
+// decodeInto decodes one record from src, which the caller guarantees holds
+// at least RecordSize bytes. It is the batch decode kernel: no bounds error
+// path, no value copies beyond the field stores themselves.
+func decodeInto(dst *Record, src []byte) {
+	_ = src[RecordSize-1] // one bounds check for the whole record
+	dst.SrcIP = binary.LittleEndian.Uint32(src[0:])
+	dst.DstIP = binary.LittleEndian.Uint32(src[4:])
+	dst.SrcPort = binary.LittleEndian.Uint16(src[8:])
+	dst.DstPort = binary.LittleEndian.Uint16(src[10:])
+	dst.Protocol = src[12]
+	dst.TTL = src[13]
+	dst.TCPFlags = src[14]
+	dst.IPLen = binary.LittleEndian.Uint16(src[15:])
+	dst.Packets = binary.LittleEndian.Uint32(src[17:])
 }

@@ -71,13 +71,20 @@ func readAll(path string) error {
 	return err
 }
 
-func TestCorruptionTable(t *testing.T) {
+// corruptionCase is one damaged-payload shape shared by the classification
+// table test and the batch-vs-record equivalence test.
+type corruptionCase struct {
+	name          string
+	mutate        func([]byte) []byte
+	wantTruncated bool // else: permanent ErrBadFormat only
+}
+
+// corruptionCases enumerates every corruption shape the reader must
+// classify: header damage, framing damage, footer damage, and truncation at
+// every frame boundary and inside every record.
+func corruptionCases() []corruptionCase {
 	frame := 1 + RecordSize
-	cases := []struct {
-		name          string
-		mutate        func([]byte) []byte
-		wantTruncated bool // else: permanent ErrBadFormat only
-	}{
+	cases := []corruptionCase{
 		{"bad magic", func(p []byte) []byte { p[0] ^= 0xFF; return p }, false},
 		{"bad version", func(p []byte) []byte { p[4] = 99; return p }, false},
 		{"unknown frame tag", func(p []byte) []byte { p[fileHeaderLen] = 0x7F; return p }, false},
@@ -95,22 +102,21 @@ func TestCorruptionTable(t *testing.T) {
 	// Truncation at every frame boundary, and inside every record.
 	for k := 0; k <= corruptRecs; k++ {
 		cut := fileHeaderLen + k*frame
-		cases = append(cases, struct {
-			name          string
-			mutate        func([]byte) []byte
-			wantTruncated bool
-		}{"cut at frame " + string(rune('0'+k)), func(p []byte) []byte { return p[:cut] }, true})
+		cases = append(cases, corruptionCase{
+			"cut at frame " + string(rune('0'+k)),
+			func(p []byte) []byte { return p[:cut] }, true})
 		if k < corruptRecs {
 			mid := cut + 1 + RecordSize/2
-			cases = append(cases, struct {
-				name          string
-				mutate        func([]byte) []byte
-				wantTruncated bool
-			}{"cut inside record " + string(rune('0'+k)), func(p []byte) []byte { return p[:mid] }, true})
+			cases = append(cases, corruptionCase{
+				"cut inside record " + string(rune('0'+k)),
+				func(p []byte) []byte { return p[:mid] }, true})
 		}
 	}
+	return cases
+}
 
-	for _, tc := range cases {
+func TestCorruptionTable(t *testing.T) {
+	for _, tc := range corruptionCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			plain := tc.mutate(validPlain(t))
 			path := writeGz(t, plain)
@@ -123,6 +129,91 @@ func TestCorruptionTable(t *testing.T) {
 			}
 			if got := errors.Is(err, ErrTruncated); got != tc.wantTruncated {
 				t.Fatalf("ErrTruncated = %v, want %v (err: %v)", got, tc.wantTruncated, err)
+			}
+		})
+	}
+}
+
+// drainNext reads the file one record at a time and returns the records
+// before the terminal error (nil for a clean EOF).
+func drainNext(t *testing.T, path string) ([]Record, error) {
+	t.Helper()
+	rd, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// drainBatch reads the file through NextBatch with the given batch size.
+func drainBatch(t *testing.T, path string, size int) ([]Record, error) {
+	t.Helper()
+	rd, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	var recs []Record
+	buf := make([]Record, size)
+	for {
+		n, err := rd.NextBatch(buf)
+		recs = append(recs, buf[:n]...)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+	}
+}
+
+// The batch reader must agree with the record reader on every corruption
+// shape: the same prefix of readable records, then an error with the same
+// message and the same ErrTruncated/ErrBadFormat classification — a cut
+// landing mid-batch must not reclassify or swallow records.
+func TestBatchMatchesRecordOnCorruption(t *testing.T) {
+	for _, tc := range corruptionCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := tc.mutate(validPlain(t))
+			path := writeGz(t, plain)
+			wantRecs, wantErr := drainNext(t, path)
+			for _, size := range []int{1, 3, corruptRecs, BatchSize} {
+				gotRecs, gotErr := drainBatch(t, path, size)
+				if len(gotRecs) != len(wantRecs) {
+					t.Fatalf("batch=%d read %d records, record reader %d",
+						size, len(gotRecs), len(wantRecs))
+				}
+				for i := range gotRecs {
+					if gotRecs[i] != wantRecs[i] {
+						t.Fatalf("batch=%d record %d diverged", size, i)
+					}
+				}
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("batch=%d error = %v, record reader %v", size, gotErr, wantErr)
+				}
+				if wantErr == nil {
+					continue
+				}
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("batch=%d error message diverged:\n batch  %v\n record %v",
+						size, gotErr, wantErr)
+				}
+				if errors.Is(gotErr, ErrTruncated) != errors.Is(wantErr, ErrTruncated) ||
+					!errors.Is(gotErr, ErrBadFormat) {
+					t.Fatalf("batch=%d error classification diverged: %v vs %v",
+						size, gotErr, wantErr)
+				}
 			}
 		})
 	}

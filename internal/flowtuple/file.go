@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 )
 
 // File format: gzip stream containing a 16-byte header followed by framed
@@ -205,9 +207,24 @@ func Verify(path string) (Header, error) {
 	}
 }
 
+// Reader pools. Hour files are opened once per hour per worker, and the
+// gzip state (sliding window, huffman tables) plus the two bufio layers
+// dominate that cost; recycling them makes steady-state ingestion allocate
+// almost nothing per file.
+var (
+	// inPool holds the compressed-side buffers between the file and gzip;
+	// a large buffer keeps read syscalls rare.
+	inPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 1<<18) }}
+	// outPool holds the decoded-side buffers NextBatch peeks frames out of.
+	outPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 1<<16) }}
+	// gzPool holds *gzip.Reader values; empty until the first Close.
+	gzPool sync.Pool
+)
+
 // Reader iterates the records of one hourly file.
 type Reader struct {
 	f      *os.File
+	in     *bufio.Reader
 	gz     *gzip.Reader
 	br     *bufio.Reader
 	header Header
@@ -222,12 +239,27 @@ func Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flowtuple: open %s: %w", path, err)
 	}
-	gz, err := gzip.NewReader(f)
+	in := inPool.Get().(*bufio.Reader)
+	in.Reset(f)
+	var gz *gzip.Reader
+	if v := gzPool.Get(); v != nil {
+		gz = v.(*gzip.Reader)
+		err = gz.Reset(in)
+	} else {
+		gz, err = gzip.NewReader(in)
+	}
 	if err != nil {
+		if gz != nil {
+			gzPool.Put(gz)
+		}
+		in.Reset(nil)
+		inPool.Put(in)
 		f.Close()
 		return nil, readErr(path, "gzip open", err)
 	}
-	r := &Reader{f: f, gz: gz, br: bufio.NewReaderSize(gz, 1<<16), path: path}
+	br := outPool.Get().(*bufio.Reader)
+	br.Reset(gz)
+	r := &Reader{f: f, in: in, gz: gz, br: br, path: path}
 	hdr := make([]byte, fileHeaderLen)
 	if _, err := io.ReadFull(r.br, hdr); err != nil {
 		r.Close()
@@ -249,6 +281,17 @@ func (r *Reader) Header() Header { return r.header }
 // footer (e.g. still being written by a non-atomic producer) additionally
 // wrap ErrTruncated.
 func (r *Reader) Next() (Record, error) {
+	var one [1]Record
+	if n, err := r.NextBatch(one[:]); n == 0 {
+		return Record{}, err
+	}
+	return one[0], nil
+}
+
+// next1 reads one frame the framed way: tag byte, then the record or
+// footer. It is the slow path shared by Next and NextBatch, and the sole
+// origin of the reader's error taxonomy.
+func (r *Reader) next1() (Record, error) {
 	tag, err := r.br.ReadByte()
 	if err != nil {
 		return Record{}, readErr(r.path, "ends before footer", err)
@@ -285,13 +328,25 @@ func (r *Reader) Next() (Record, error) {
 	}
 }
 
-// Close releases the underlying file, propagating the gzip close error
-// (e.g. a checksum failure noticed only at stream end) over the file one.
+// Close releases the underlying file and returns the pooled buffers,
+// propagating the gzip close error (e.g. a checksum failure noticed only at
+// stream end) over the file one.
 func (r *Reader) Close() error {
 	var gzErr error
 	if r.gz != nil {
 		gzErr = r.gz.Close()
+		gzPool.Put(r.gz)
 		r.gz = nil
+	}
+	if r.br != nil {
+		r.br.Reset(nil)
+		outPool.Put(r.br)
+		r.br = nil
+	}
+	if r.in != nil {
+		r.in.Reset(nil)
+		inPool.Put(r.in)
+		r.in = nil
 	}
 	var fErr error
 	if r.f != nil {
@@ -309,17 +364,47 @@ func HourPath(dir string, hour int) string {
 	return filepath.Join(dir, fmt.Sprintf("hour-%03d.ft.gz", hour))
 }
 
+// parseHourName extracts the hour index from a canonical hour file name
+// ("hour-NNN.ft.gz", decimal digits only). ok is false for anything else:
+// in-progress ".tmp" siblings, foreign files, and malformed names. Unlike
+// the historical Sscanf parse, names past hour 999 (four or more digits)
+// are accepted, since HourPath generates them for windows past %03d.
+func parseHourName(name string) (int, bool) {
+	const prefix, suffix = "hour-", ".ft.gz"
+	if len(name) < len(prefix)+1+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	if len(digits) > 9 { // bounds the value well inside int range
+		return 0, false
+	}
+	h := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		h = h*10 + int(c-'0')
+	}
+	return h, true
+}
+
 // DatasetHours lists the hour indices present in a dataset directory, in
-// ascending order. In-progress ".tmp" siblings are never matched.
+// ascending order. In-progress ".tmp" siblings and files that do not parse
+// as canonical hour names are never matched. A missing directory yields an
+// empty listing, matching the historical glob-based behavior.
 func DatasetHours(dir string) ([]int, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "hour-*.ft.gz"))
+	ents, err := os.ReadDir(dir)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
 		return nil, err
 	}
-	hours := make([]int, 0, len(matches))
-	for _, m := range matches {
-		var h int
-		if _, err := fmt.Sscanf(filepath.Base(m), "hour-%03d.ft.gz", &h); err == nil {
+	hours := make([]int, 0, len(ents))
+	for _, ent := range ents {
+		if h, ok := parseHourName(ent.Name()); ok {
 			hours = append(hours, h)
 		}
 	}
@@ -329,21 +414,12 @@ func DatasetHours(dir string) ([]int, error) {
 
 // WalkHour opens the given hour file in dir and invokes fn for each record.
 func WalkHour(dir string, hour int, fn func(Record) error) error {
-	r, err := Open(HourPath(dir, hour))
-	if err != nil {
-		return err
-	}
-	defer r.Close()
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			return nil
+	return WalkHourBatch(dir, hour, func(batch []Record) error {
+		for i := range batch {
+			if err := fn(batch[i]); err != nil {
+				return err
+			}
 		}
-		if err != nil {
-			return err
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
-	}
+		return nil
+	})
 }

@@ -72,3 +72,86 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzNextBatch proves the batch fast path is a drop-in for Next on
+// arbitrary bytes: both drains see the same record prefix and stop with
+// errors of the same classification, and neither panics.
+func FuzzNextBatch(f *testing.F) {
+	dir := f.TempDir()
+	base := HourPath(dir, 7)
+	w, err := Create(base, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := rng.New(11)
+	for i := 0; i < 48; i++ {
+		if err := w.Write(randomRecord(r)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(base)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(valid, uint16(1))
+	f.Add(valid, uint16(7))
+	f.Add(valid, uint16(BatchSize))
+	f.Add(valid[:len(valid)/2], uint16(3))
+	f.Add([]byte{}, uint16(4))
+	for _, off := range []int{1, 10, len(valid) / 2, len(valid) - 5} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x40
+		f.Add(mut, uint16(5))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, size uint16) {
+		batchLen := int(size)%256 + 1
+		path := filepath.Join(t.TempDir(), "hour-000.ft.gz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		ra, errA := Open(path)
+		rb, errB := Open(path)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("open disagreement: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		defer ra.Close()
+		defer rb.Close()
+		buf := make([]Record, batchLen)
+		const maxRecs = 1 << 17 // gzip-bomb bound, as in FuzzReader
+		read := 0
+		for read < maxRecs {
+			n, berr := rb.NextBatch(buf)
+			for i := 0; i < n; i++ {
+				rec, nerr := ra.Next()
+				if nerr != nil {
+					t.Fatalf("Next failed (%v) where NextBatch produced record %d", nerr, read+i)
+				}
+				if rec != buf[i] {
+					t.Fatalf("record %d diverged: %+v vs %+v", read+i, rec, buf[i])
+				}
+			}
+			read += n
+			if berr != nil {
+				_, nerr := ra.Next()
+				if nerr == nil {
+					t.Fatalf("NextBatch stopped (%v) where Next kept reading", berr)
+				}
+				if (berr == io.EOF) != (nerr == io.EOF) {
+					t.Fatalf("terminal errors diverged: batch %v, record %v", berr, nerr)
+				}
+				if berr != io.EOF && berr.Error() != nerr.Error() {
+					t.Fatalf("terminal messages diverged:\n batch  %v\n record %v", berr, nerr)
+				}
+				return
+			}
+		}
+	})
+}

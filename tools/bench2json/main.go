@@ -1,0 +1,178 @@
+// Command bench2json converts `go test -bench` text output into a small
+// JSON document suitable for committing alongside the code it measured
+// (BENCH_<date>.json). The raw benchmark text is embedded verbatim so a
+// committed file can be fed straight back into benchstat:
+//
+//	go test -bench ... | go run ./tools/bench2json -date 2026-08-06 > BENCH_2026-08-06.json
+//	go run ./tools/bench2json -extract BENCH_2026-08-06.json > old.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark line.
+type Sample struct {
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Bench aggregates the samples of one benchmark name.
+type Bench struct {
+	Samples      []Sample `json:"samples"`
+	MedianNs     float64  `json:"median_ns"`
+	MedianAllocs int64    `json:"median_allocs"`
+}
+
+// Report is the committed document.
+type Report struct {
+	Date       string            `json:"date"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+	Raw        string            `json:"raw"`
+}
+
+func main() {
+	date := flag.String("date", "", "date stamp for the report (YYYY-MM-DD)")
+	extract := flag.String("extract", "", "read a bench2json file and print its raw text (for benchstat)")
+	flag.Parse()
+
+	if *extract != "" {
+		if err := runExtract(*extract); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	rep, err := parse(os.Stdin, *date)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func runExtract(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	_, err = io.WriteString(os.Stdout, rep.Raw)
+	return err
+}
+
+// parse reads `go test -bench` output: header key: value lines, then
+// benchmark result lines "BenchmarkName-N  iters  X ns/op [Y B/op  Z allocs/op]".
+func parse(r io.Reader, date string) (*Report, error) {
+	rep := &Report{Date: date, Benchmarks: map[string]*Bench{}}
+	var raw strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		raw.WriteString(line)
+		raw.WriteByte('\n')
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, s, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b := rep.Benchmarks[name]
+			if b == nil {
+				b = &Bench{}
+				rep.Benchmarks[name] = b
+			}
+			b.Samples = append(b.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	for _, b := range rep.Benchmarks {
+		b.MedianNs = medianF(b.Samples, func(s Sample) float64 { return s.NsPerOp })
+		b.MedianAllocs = int64(medianF(b.Samples, func(s Sample) float64 { return float64(s.AllocsPerOp) }))
+	}
+	rep.Raw = raw.String()
+	return rep, nil
+}
+
+func parseBenchLine(line string) (string, Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Sample{}, false
+	}
+	name := fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Sample{}, false
+	}
+	s := Sample{Iters: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsPerOp = v
+			seen = true
+		case "B/op":
+			s.BPerOp = int64(v)
+		case "allocs/op":
+			s.AllocsPerOp = int64(v)
+		}
+	}
+	return name, s, seen
+}
+
+func medianF(samples []Sample, get func(Sample) float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = get(s)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

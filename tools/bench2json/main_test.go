@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: iotscope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineCorrelate 	       3	 937980439 ns/op	172166738 B/op	  688894 allocs/op
+BenchmarkPipelineCorrelate 	       3	 983101006 ns/op	172071554 B/op	  688874 allocs/op
+BenchmarkPipelineCorrelate 	       3	 951538391 ns/op	172172984 B/op	  688895 allocs/op
+BenchmarkIncrementalIngest 	     397	   6064348 ns/op	 1188352 B/op	    4724 allocs/op
+PASS
+ok  	iotscope	15.049s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample), "2026-08-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "iotscope" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu: %q", rep.CPU)
+	}
+	pc := rep.Benchmarks["BenchmarkPipelineCorrelate"]
+	if pc == nil || len(pc.Samples) != 3 {
+		t.Fatalf("pipeline samples: %+v", pc)
+	}
+	if pc.MedianNs != 951538391 {
+		t.Fatalf("pipeline median ns %v", pc.MedianNs)
+	}
+	if pc.MedianAllocs != 688894 {
+		t.Fatalf("pipeline median allocs %v", pc.MedianAllocs)
+	}
+	ii := rep.Benchmarks["BenchmarkIncrementalIngest"]
+	if ii == nil || len(ii.Samples) != 1 || ii.Samples[0].Iters != 397 {
+		t.Fatalf("ingest samples: %+v", ii)
+	}
+	if ii.Samples[0].BPerOp != 1188352 || ii.Samples[0].AllocsPerOp != 4724 {
+		t.Fatalf("ingest memory columns: %+v", ii.Samples[0])
+	}
+	// The raw text round-trips unmodified, so benchstat can consume it.
+	if rep.Raw != sample {
+		t.Fatalf("raw text not preserved:\n%q", rep.Raw)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n"), ""); err == nil {
+		t.Fatal("expected error on input without benchmark lines")
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, s, ok := parseBenchLine("BenchmarkX-8 	 100 	 12345 ns/op")
+	if !ok || name != "BenchmarkX-8" || s.Iters != 100 || s.NsPerOp != 12345 {
+		t.Fatalf("got %q %+v %v", name, s, ok)
+	}
+	if _, _, ok := parseBenchLine("BenchmarkBroken"); ok {
+		t.Fatal("short line accepted")
+	}
+	if _, _, ok := parseBenchLine("BenchmarkNoNs 10 banana ns"); ok {
+		t.Fatal("line without ns/op accepted")
+	}
+}
