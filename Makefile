@@ -2,10 +2,13 @@ GO ?= go
 
 # Packages whose concurrency is exercised under the race detector: the
 # worker-pool correlator, the incremental watcher, the HTTP server (and
-# its admission-control layer), the serving lifecycle binary, and the
-# atomic file writer raced against readers.
+# its admission-control layer), the serving lifecycle binary, the staged
+# pipeline engine with its parallel composite, the cmd wiring that drives
+# it, and the atomic file writer raced against readers.
 RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
-	./internal/resilience ./cmd/iotwatch ./cmd/iotserve
+	./internal/resilience ./internal/pipeline ./internal/core \
+	./cmd/iotwatch ./cmd/iotserve ./cmd/iotinfer ./cmd/iotreport \
+	./cmd/iotnotify
 
 .PHONY: check build test vet race fuzz bench benchall chaos
 
@@ -18,8 +21,12 @@ build:
 test:
 	$(GO) test ./...
 
+# go vet plus the repo's own context-hygiene check: every exported
+# function below the serving layer that spawns goroutines must accept a
+# context.Context (see tools/ctxvet).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./tools/ctxvet ./internal/... ./cmd/...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -41,7 +48,7 @@ chaos:
 #   benchstat old.txt new.txt
 BENCH_DATE ?= $(shell date +%F)
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkIncrementalIngest$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$' \
 		-benchmem -benchtime 2s -count 3 . \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) > BENCH_$(BENCH_DATE).json
 	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE).json

@@ -6,6 +6,7 @@ package iotscope_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"iotscope/internal/fingerprint"
 	"iotscope/internal/flowtuple"
 	"iotscope/internal/netx"
+	"iotscope/internal/pipeline"
 	"iotscope/internal/report"
 	"iotscope/internal/rng"
 	"iotscope/internal/sketch"
@@ -194,7 +196,7 @@ func BenchmarkStatTests(b *testing.B) {
 	_, res := benchFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := res.Analyzer.RunStatTests(); err != nil {
+		if _, err := res.Analyzer.RunStatTests(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +212,34 @@ func BenchmarkPipelineCorrelate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.ProcessDataset(ds.Dir); err != nil {
+		if _, err := c.ProcessDataset(context.Background(), ds.Dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineStaged measures the same correlation workload driven
+// through the staged engine (instrumented stage, report bookkeeping,
+// context plumbing). Compared against BenchmarkPipelineCorrelate it bounds
+// the engine's per-run overhead — the acceptance gate is <2 % on the
+// median.
+func BenchmarkPipelineStaged(b *testing.B) {
+	ds, _ := benchFixture(b)
+	c := correlate.New(ds.Inventory, correlate.Options{})
+	stage := pipeline.Func("correlate", func(ctx context.Context, st *pipeline.State) error {
+		res, err := c.ProcessDataset(ctx, ds.Dir)
+		if err != nil {
+			return err
+		}
+		m := pipeline.Meter(ctx)
+		m.RecordsIn = res.Background.Records
+		m.RecordsOut = uint64(len(res.Devices))
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.New("bench", stage).Run(context.Background(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -238,7 +267,7 @@ func BenchmarkAblationCorrelateStreaming(b *testing.B) {
 	b.Run("streaming", func(b *testing.B) {
 		c := correlate.New(ds.Inventory, correlate.Options{Workers: 1})
 		for i := 0; i < b.N; i++ {
-			if _, err := c.ProcessDataset(ds.Dir); err != nil {
+			if _, err := c.ProcessDataset(context.Background(), ds.Dir); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -413,7 +442,7 @@ func BenchmarkAblationSketch(b *testing.B) {
 	b.Run("exact-sets", func(b *testing.B) {
 		c := correlate.New(ds.Inventory, correlate.Options{Workers: 1})
 		for i := 0; i < b.N; i++ {
-			if _, err := c.ProcessDataset(ds.Dir); err != nil {
+			if _, err := c.ProcessDataset(context.Background(), ds.Dir); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -421,7 +450,7 @@ func BenchmarkAblationSketch(b *testing.B) {
 	b.Run("hyperloglog", func(b *testing.B) {
 		c := correlate.New(ds.Inventory, correlate.Options{Workers: 1, UseSketches: true})
 		for i := 0; i < b.N; i++ {
-			if _, err := c.ProcessDataset(ds.Dir); err != nil {
+			if _, err := c.ProcessDataset(context.Background(), ds.Dir); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -494,7 +523,10 @@ func BenchmarkInvestigate(b *testing.B) {
 	cfg := threatintel.InvestigateConfig{TopPerCategory: 40}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		inv := threatintel.Investigate(cfg, res.Correlate, ds.Inventory, ds.Threat)
+		inv, err := threatintel.Investigate(context.Background(), cfg, res.Correlate, ds.Inventory, ds.Threat)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if inv.Explored == 0 {
 			b.Fatal("empty investigation")
 		}
@@ -510,7 +542,10 @@ func BenchmarkMalwareCorrelate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		corr := ds.Malware.Correlate(ips, ds.Catalog)
+		corr, err := ds.Malware.Correlate(context.Background(), ips, ds.Catalog)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(corr.Hashes) == 0 {
 			b.Fatal("empty correlation")
 		}
@@ -598,7 +633,7 @@ func BenchmarkIncrementalIngest(b *testing.B) {
 			}
 			b.StartTimer()
 		}
-		if _, err := benchInc.Ingest(ds.Dir, hours[i%len(hours)]); err != nil {
+		if _, err := benchInc.Ingest(context.Background(), ds.Dir, hours[i%len(hours)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -144,7 +145,7 @@ func summarize(dir string, only int) error {
 		var recs uint64
 		var pkts [classify.NumClasses]uint64
 		var total uint64
-		err := flowtuple.WalkHourBatch(dir, h, func(batch []flowtuple.Record) error {
+		err := flowtuple.WalkHourBatch(context.Background(), dir, h, func(batch []flowtuple.Record) error {
 			recs += uint64(len(batch))
 			for i := range batch {
 				rec := &batch[i]

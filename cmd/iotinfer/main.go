@@ -1,19 +1,27 @@
 // Command iotinfer runs the paper's inference pipeline over a dataset
 // directory and emits the headline results (optionally as JSON).
 //
+// The analysis runs through the staged pipeline engine (correlate →
+// characterize → stat-tests → threat-intel → malware); -stage-report dumps
+// the per-stage metrics, and an interrupt cancels the run mid-stage.
+//
 // Usage:
 //
-//	iotinfer -data DIR [-json] [-workers N] [-sketch]
+//	iotinfer -data DIR [-json] [-workers N] [-sketch] [-lenient]
+//	         [-stage-report FILE|-]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"iotscope/internal/core"
+	"iotscope/internal/pipeline"
 	"iotscope/internal/profiling"
 	"iotscope/internal/report"
 )
@@ -28,12 +36,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("iotinfer", flag.ContinueOnError)
 	var (
-		data    = fs.String("data", "", "dataset directory (required)")
-		asJSON  = fs.Bool("json", false, "emit machine-readable JSON")
-		workers = fs.Int("workers", 0, "concurrent hour files (0 = GOMAXPROCS)")
-		sketch  = fs.Bool("sketch", false, "use HyperLogLog destination counters")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		data        = fs.String("data", "", "dataset directory (required)")
+		asJSON      = fs.Bool("json", false, "emit machine-readable JSON")
+		workers     = fs.Int("workers", 0, "concurrent hour files (0 = GOMAXPROCS)")
+		sketch      = fs.Bool("sketch", false, "use HyperLogLog destination counters")
+		lenient     = fs.Bool("lenient", false, "quarantine unreadable hours instead of failing")
+		stageReport = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +60,8 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "iotinfer:", err)
 		}
 	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	ds, err := core.Open(*data)
 	if err != nil {
 		return err
@@ -57,7 +69,11 @@ func run(args []string) error {
 	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
 	cfg.Workers = *workers
 	cfg.UseSketches = *sketch
-	res, err := ds.Analyze(cfg)
+	cfg.Lenient = *lenient
+	res, rep, err := ds.AnalyzeStaged(ctx, cfg)
+	if emitErr := pipeline.EmitReport(rep, *stageReport); emitErr != nil && err == nil {
+		err = emitErr
+	}
 	if err != nil {
 		return err
 	}

@@ -4,16 +4,23 @@
 //
 // Usage:
 //
-//	iotnotify -data DIR [-top 10] [-min-devices 1]
+//	iotnotify -data DIR [-top 10] [-min-devices 1] [-stage-report FILE|-]
+//
+// The analysis runs through the staged pipeline engine with a trailing
+// "notify" stage that builds the per-ISP bundles; -stage-report dumps the
+// per-stage metrics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"iotscope/internal/core"
 	"iotscope/internal/notify"
+	"iotscope/internal/pipeline"
 )
 
 func main() {
@@ -26,9 +33,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("iotnotify", flag.ContinueOnError)
 	var (
-		data       = fs.String("data", "", "dataset directory (required)")
-		top        = fs.Int("top", 10, "render only the N largest bundles (0 = all)")
-		minDevices = fs.Int("min-devices", 1, "skip operators with fewer compromised devices")
+		data        = fs.String("data", "", "dataset directory (required)")
+		top         = fs.Int("top", 10, "render only the N largest bundles (0 = all)")
+		minDevices  = fs.Int("min-devices", 1, "skip operators with fewer compromised devices")
+		stageReport = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,13 +51,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
-	res, err := ds.Analyze(cfg)
+	res := &core.Results{}
+	var bundles []notify.Bundle
+	stages := append(ds.AnalysisStages(cfg, res),
+		pipeline.Func("notify", func(ctx context.Context, st *pipeline.State) error {
+			bundles = notify.Build(res.Correlate, ds.Inventory, ds.Registry, ds.Threat,
+				notify.Config{MinDevices: *minDevices, MinPackets: 1})
+			m := pipeline.Meter(ctx)
+			m.RecordsIn = uint64(len(res.Correlate.Devices))
+			m.RecordsOut = uint64(len(bundles))
+			return nil
+		}))
+	rep, err := pipeline.New("notify", stages...).Run(ctx, nil)
+	if emitErr := pipeline.EmitReport(rep, *stageReport); emitErr != nil && err == nil {
+		err = emitErr
+	}
 	if err != nil {
 		return err
 	}
-	bundles := notify.Build(res.Correlate, ds.Inventory, ds.Registry, ds.Threat,
-		notify.Config{MinDevices: *minDevices, MinPackets: 1})
 	fmt.Printf("%d operators host inferred compromised IoT devices\n\n", len(bundles))
 	n := len(bundles)
 	if *top > 0 && *top < n {

@@ -5,14 +5,20 @@
 //
 //	iotreport -data DIR                 # analyze an existing dataset
 //	iotreport -generate -scale 0.02     # synthesize into a temp dir first
+//
+// The analysis runs through the staged pipeline engine; -stage-report
+// dumps the per-stage metrics and an interrupt cancels the run mid-stage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"iotscope/internal/core"
+	"iotscope/internal/pipeline"
 	"iotscope/internal/report"
 )
 
@@ -32,6 +38,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "seed when generating")
 		hours    = fs.Int("hours", 0, "window override when generating")
 		workers  = fs.Int("workers", 0, "concurrent hour files (0 = GOMAXPROCS)")
+		stageRep = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,10 +69,15 @@ func run(args []string) error {
 		return err
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
 	cfg.Workers = *workers
 	fmt.Fprintf(os.Stderr, "analyzing %d hours ...\n", ds.Scenario.Hours)
-	res, err := ds.Analyze(cfg)
+	res, rep, err := ds.AnalyzeStaged(ctx, cfg)
+	if emitErr := pipeline.EmitReport(rep, *stageRep); emitErr != nil && err == nil {
+		err = emitErr
+	}
 	if err != nil {
 		return err
 	}

@@ -8,11 +8,13 @@
 //   - SIGINT/SIGTERM drain gracefully: /healthz flips to draining,
 //     in-flight requests finish (bounded by -drain), and a clean close
 //     exits 0.
-//   - SIGHUP hot-reloads the dataset: the new snapshot is verified
-//     (flowtuple.Verify over every hour file) and fully analyzed before
-//     an atomic swap; a bad reload keeps the old snapshot serving and
-//     marks health degraded. -reload-poll additionally watches the
-//     dataset directory mtime and reloads when it changes.
+//   - SIGHUP hot-reloads the dataset: the load runs as a staged pipeline
+//     (open → verify → analyze, see core.LoadSnapshot) under the
+//     -reload-timeout deadline before an atomic swap; a bad or overrun
+//     reload keeps the old snapshot serving and marks health degraded.
+//     -reload-poll additionally watches the dataset directory mtime and
+//     reloads when it changes. The latest load's per-stage report is
+//     served at /v1/pipeline and written to -stage-report.
 //   - Admission control sheds load instead of collapsing: -max-inflight
 //     caps concurrency (503 + Retry-After), -rate/-burst rate-limit each
 //     token (429 + Retry-After), and -request-timeout propagates a
@@ -22,7 +24,8 @@
 //
 //	iotserve -data DIR -token SECRET [-token SECRET2 ...] [-addr :8642]
 //	         [-max-inflight 256] [-rate 0] [-burst 0] [-request-timeout 30s]
-//	         [-drain 10s] [-reload-poll 0]
+//	         [-drain 10s] [-reload-poll 0] [-reload-timeout 2m]
+//	         [-stage-report FILE|-]
 //
 // Endpoints (Bearer auth except /healthz):
 //
@@ -36,6 +39,7 @@
 //	GET /v1/signatures
 //	GET /v1/campaigns
 //	GET /v1/malware
+//	GET /v1/pipeline
 package main
 
 import (
@@ -52,6 +56,7 @@ import (
 
 	"iotscope/internal/apiserve"
 	"iotscope/internal/core"
+	"iotscope/internal/pipeline"
 )
 
 func main() {
@@ -86,6 +91,8 @@ func run(args []string) error {
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request context deadline (0 disables)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 		reloadPoll = fs.Duration("reload-poll", 0, "poll the dataset dir mtime and hot-reload on change (0 disables; SIGHUP always reloads)")
+		reloadTO   = fs.Duration("reload-timeout", 2*time.Minute, "deadline for a hot reload's load pipeline (0 disables)")
+		stageRep   = fs.String("stage-report", "", "write the boot load's per-stage pipeline metrics JSON to this file (- = stderr)")
 	)
 	fs.Var(&tokens, "token", "API bearer token (repeatable; at least one required)")
 	if err := fs.Parse(args); err != nil {
@@ -99,7 +106,10 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintf(os.Stderr, "loading and verifying dataset %s ...\n", *data)
-	ds, res, err := core.LoadSnapshot(*data)
+	ds, res, loadRep, err := core.LoadSnapshot(context.Background(), *data)
+	if emitErr := pipeline.EmitReport(loadRep, *stageRep); emitErr != nil && err == nil {
+		err = emitErr
+	}
 	if err != nil {
 		return err
 	}
@@ -125,6 +135,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	api.SetLoadReport(loadRep)
 
 	// Signals are registered before the listener exists so no signal can
 	// hit the default handler (process kill) once the address is
@@ -177,7 +188,7 @@ func run(args []string) error {
 
 		case sig := <-sigCh:
 			if sig == syscall.SIGHUP {
-				reload(api, *data)
+				reload(api, *data, *reloadTO)
 				continue
 			}
 			// SIGINT/SIGTERM: drain in-flight requests, bounded.
@@ -200,16 +211,26 @@ func run(args []string) error {
 			if m := dirMtime(*data); m.After(lastMtime) {
 				lastMtime = m
 				fmt.Fprintf(os.Stderr, "iotserve: dataset dir changed, reloading ...\n")
-				reload(api, *data)
+				reload(api, *data, *reloadTO)
 			}
 		}
 	}
 }
 
-// reload validates, analyzes, and swaps in the dataset at dir. On any
-// failure the current snapshot keeps serving and health reports degraded.
-func reload(api *apiserve.Server, dir string) {
-	ds, res, err := core.LoadSnapshot(dir)
+// reload validates, analyzes, and swaps in the dataset at dir, running the
+// load pipeline under the reload deadline. On any failure — including the
+// deadline firing mid-stage — the current snapshot keeps serving and
+// health reports degraded. The per-stage report of the attempt (successful
+// or not) replaces the one served at /v1/pipeline.
+func reload(api *apiserve.Server, dir string, timeout time.Duration) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ds, res, rep, err := core.LoadSnapshot(ctx, dir)
+	api.SetLoadReport(rep)
 	if err != nil {
 		api.NoteReloadFailure(err)
 		fmt.Fprintf(os.Stderr, "iotserve: reload rejected, keeping snapshot gen %d: %v\n",

@@ -9,18 +9,25 @@
 // producer may still be writing it) is retried with exponential backoff up
 // to -retries attempts before being quarantined; structurally corrupt
 // hours are quarantined immediately. Neither ever aborts the watch, and
-// the summary line reports the retried and quarantined counts.
+// the summary line reports the retried and quarantined counts. The
+// retry/backoff budget is a pipeline.RetryPolicy and the correlator comes
+// from the shared core pipeline config (Config.Lenient), so batch and
+// watch modes cannot drift.
 //
 // Usage:
 //
 //	iotwatch -data DIR [-poll 2s] [-once] [-alarm 8] [-retries 3] [-backoff 500ms]
+//	         [-stage-report FILE|-]
 //
 // With -once the watcher ingests whatever is present (including retry
 // resolution) and exits (useful for scripting and tests); otherwise it
-// polls until interrupted.
+// polls until interrupted. Either way the watch runs as a stage of the
+// pipeline engine: an interrupt cancels the ingest loop at the next hour
+// boundary, prints the summary, and exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +40,7 @@ import (
 	"iotscope/internal/correlate"
 	"iotscope/internal/devicedb"
 	"iotscope/internal/flowtuple"
+	"iotscope/internal/pipeline"
 )
 
 func main() {
@@ -45,12 +53,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("iotwatch", flag.ContinueOnError)
 	var (
-		data    = fs.String("data", "", "dataset directory (required)")
-		poll    = fs.Duration("poll", 2*time.Second, "directory poll interval")
-		once    = fs.Bool("once", false, "ingest what is present, then exit")
-		alarm   = fs.Float64("alarm", 8, "DoS alarm threshold (x median backscatter hour; 0 disables)")
-		retries = fs.Int("retries", 3, "retry budget per truncated hour before quarantine")
-		backoff = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
+		data        = fs.String("data", "", "dataset directory (required)")
+		poll        = fs.Duration("poll", 2*time.Second, "directory poll interval")
+		once        = fs.Bool("once", false, "ingest what is present, then exit")
+		alarm       = fs.Float64("alarm", 8, "DoS alarm threshold (x median backscatter hour; 0 disables)")
+		retries     = fs.Int("retries", 3, "retry budget per truncated hour before quarantine")
+		backoff     = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
+		stageReport = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,59 +74,45 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	c := correlate.New(ds.Inventory, correlate.Options{FaultPolicy: correlate.Lenient})
-	maxHours := ds.Scenario.Hours
-	if maxHours <= 0 {
-		maxHours = 24 * 365
-	}
-	inc, err := c.NewIncremental(maxHours)
+	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
+	cfg.Lenient = true
+	inc, err := ds.NewIncremental(cfg)
 	if err != nil {
 		return err
 	}
 
 	w := &watcher{
 		dir: ds.Dir, inv: ds.Inventory, inc: inc,
-		alarm: *alarm, retries: *retries, backoff: *backoff,
+		alarm: *alarm,
+		policy: pipeline.RetryPolicy{
+			MaxRetries:  *retries,
+			BaseBackoff: *backoff,
+			Retryable:   correlate.IsRetryable,
+		},
 		ingested: make(map[int]bool),
 		attempts: make(map[int]int),
 		nextTry:  make(map[int]time.Time),
 	}
 
-	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
-	for {
-		n, err := w.sweep()
-		if err != nil {
-			return err
-		}
-		if *once {
-			if n == 0 {
-				wait, pending := w.nextRetryWait()
-				if !pending {
-					w.summary()
-					return nil
-				}
-				time.Sleep(wait)
-			}
-			continue
-		}
-		select {
-		case <-interrupt:
-			fmt.Println()
-			w.summary()
-			return nil
-		case <-time.After(*poll):
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := pipeline.New("watch",
+		pipeline.Func("watch-ingest", func(ctx context.Context, st *pipeline.State) error {
+			return w.watch(ctx, *once, *poll)
+		}),
+	).Run(ctx, nil)
+	if emitErr := pipeline.EmitReport(rep, *stageReport); emitErr != nil && err == nil {
+		err = emitErr
 	}
+	return err
 }
 
 type watcher struct {
-	dir     string
-	inv     *devicedb.Inventory
-	inc     *correlate.Incremental
-	alarm   float64
-	retries int
-	backoff time.Duration
+	dir    string
+	inv    *devicedb.Inventory
+	inc    *correlate.Incremental
+	alarm  float64
+	policy pipeline.RetryPolicy
 
 	ingested map[int]bool
 	attempts map[int]int
@@ -125,11 +120,66 @@ type watcher struct {
 	bsHours  []float64
 }
 
+// watch is the pipeline stage: sweep the directory for new hours until
+// interrupted (or, with once, until nothing is pending). An interrupt is a
+// normal shutdown — the summary prints and the stage completes cleanly —
+// so the engine only reports failure for real ingest errors.
+func (w *watcher) watch(ctx context.Context, once bool, poll time.Duration) error {
+	defer w.meter(ctx)
+	for {
+		n, err := w.sweep(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Println()
+				w.summary()
+				return nil
+			}
+			return err
+		}
+		if once {
+			if n == 0 {
+				wait, pending := w.nextRetryWait()
+				if !pending {
+					w.summary()
+					return nil
+				}
+				if err := pipeline.Sleep(ctx, wait); err != nil {
+					fmt.Println()
+					w.summary()
+					return nil
+				}
+			}
+			continue
+		}
+		if err := pipeline.Sleep(ctx, poll); err != nil {
+			fmt.Println()
+			w.summary()
+			return nil
+		}
+	}
+}
+
+// meter records the watch workload in the stage's metrics.
+func (w *watcher) meter(ctx context.Context) {
+	res := w.inc.Result()
+	st := w.inc.Stats()
+	m := pipeline.Meter(ctx)
+	var iot uint64
+	for i := range res.Hourly {
+		iot += res.Hourly[i].RecordsIoT
+	}
+	m.RecordsIn = res.Background.Records + iot
+	m.RecordsOut = uint64(len(res.Devices))
+	m.Retries = st.HoursRetried
+	m.QuarantinedHours = st.HoursQuarantined
+}
+
 // sweep ingests any hour files not yet seen, in order, returning how many
-// were processed. Retryable failures leave the hour pending (with
-// exponential backoff); exhausted or permanent failures quarantine it.
-// Either way the sweep keeps going: a bad hour never aborts the watch.
-func (w *watcher) sweep() (int, error) {
+// were processed. Retryable failures leave the hour pending (with the
+// policy's exponential backoff); exhausted or permanent failures
+// quarantine it. Either way the sweep keeps going: a bad hour never aborts
+// the watch. Cancellation stops the sweep at the next hour boundary.
+func (w *watcher) sweep(ctx context.Context) (int, error) {
 	hours, err := flowtuple.DatasetHours(w.dir)
 	if err != nil {
 		return 0, err
@@ -143,14 +193,17 @@ func (w *watcher) sweep() (int, error) {
 		if t, ok := w.nextTry[h]; ok && now.Before(t) {
 			continue
 		}
-		fresh, err := w.inc.Ingest(w.dir, h)
+		fresh, err := w.inc.Ingest(ctx, w.dir, h)
 		if err != nil {
-			if correlate.IsRetryable(err) && w.attempts[h] < w.retries {
+			if ctx.Err() != nil {
+				return processed, err
+			}
+			if w.policy.ShouldRetry(err, w.attempts[h]) {
 				w.attempts[h]++
-				delay := w.backoff << (w.attempts[h] - 1)
+				delay := w.policy.Delay(w.attempts[h])
 				w.nextTry[h] = now.Add(delay)
 				fmt.Printf("[hour %3d] incomplete, retry %d/%d in %s: %v\n",
-					h, w.attempts[h], w.retries, delay, err)
+					h, w.attempts[h], w.policy.MaxRetries, delay, err)
 				continue
 			}
 			w.inc.Quarantine(h, err)

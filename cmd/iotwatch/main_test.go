@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"iotscope/internal/faultfs"
 	"iotscope/internal/flowtuple"
 	"iotscope/internal/netx"
+	"iotscope/internal/pipeline"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -101,14 +103,19 @@ func writeHour(t *testing.T, dir string, hour int, src netx.Addr, recs int) {
 
 func newTestWatcher(t *testing.T, dir string, inv *devicedb.Inventory, retries int) *watcher {
 	t.Helper()
-	c := correlate.New(inv, correlate.Options{FaultPolicy: correlate.Lenient})
-	inc, err := c.NewIncremental(24)
+	ds := &core.Dataset{Inventory: inv}
+	ds.Scenario.Hours = 24
+	inc, err := ds.NewIncremental(core.Config{Lenient: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return &watcher{
 		dir: dir, inv: inv, inc: inc,
-		retries: retries, backoff: time.Millisecond,
+		policy: pipeline.RetryPolicy{
+			MaxRetries:  retries,
+			BaseBackoff: time.Millisecond,
+			Retryable:   correlate.IsRetryable,
+		},
 		ingested: make(map[int]bool),
 		attempts: make(map[int]int),
 		nextTry:  make(map[int]time.Time),
@@ -131,7 +138,7 @@ func TestSweepQuarantinesAndContinues(t *testing.T) {
 	}
 
 	w := newTestWatcher(t, dir, inv, 2)
-	n, err := w.sweep()
+	n, err := w.sweep(context.Background())
 	if err != nil {
 		t.Fatalf("sweep over damaged dir errored: %v", err)
 	}
@@ -147,7 +154,7 @@ func TestSweepQuarantinesAndContinues(t *testing.T) {
 	// Burn the retry budget; the truncated file never completes.
 	for i := 0; i < 3; i++ {
 		time.Sleep(5 * time.Millisecond)
-		if _, err := w.sweep(); err != nil {
+		if _, err := w.sweep(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -177,7 +184,7 @@ func TestSweepRetryResolves(t *testing.T) {
 	}
 
 	w := newTestWatcher(t, dir, inv, 3)
-	if n, err := w.sweep(); err != nil || n != 0 {
+	if n, err := w.sweep(context.Background()); err != nil || n != 0 {
 		t.Fatalf("sweep = %d, %v", n, err)
 	}
 	// The producer finishes the hour; the retry picks it up.
@@ -190,7 +197,7 @@ func TestSweepRetryResolves(t *testing.T) {
 			t.Fatal("retry never resolved")
 		}
 		time.Sleep(2 * time.Millisecond)
-		if _, err := w.sweep(); err != nil {
+		if _, err := w.sweep(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -243,7 +250,7 @@ func TestSweepAgainstConcurrentAtomicWriter(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("ingested only %d/%d hours", len(w.ingested), hours)
 		}
-		if _, err := w.sweep(); err != nil {
+		if _, err := w.sweep(context.Background()); err != nil {
 			t.Fatalf("sweep errored mid-write: %v", err)
 		}
 		time.Sleep(2 * time.Millisecond)

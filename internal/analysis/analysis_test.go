@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"os"
 	"sync"
@@ -38,7 +39,7 @@ func loadFixture(t *testing.T) (*Analyzer, *wgen.Generator) {
 			fixtureErr = err
 			return
 		}
-		res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(dir)
+		res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(context.Background(), dir)
 		if err != nil {
 			fixtureErr = err
 			return
@@ -507,7 +508,7 @@ func TestFig10ServiceSeries(t *testing.T) {
 
 func TestStatTestBattery(t *testing.T) {
 	a, _ := loadFixture(t)
-	tests, err := a.RunStatTests()
+	tests, err := a.RunStatTests(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

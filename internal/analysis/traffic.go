@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"iotscope/internal/classify"
@@ -427,11 +428,15 @@ type StatTests struct {
 	ScannersVsScanPackets stats.PearsonResult
 }
 
-// RunStatTests executes the battery.
-func (a *Analyzer) RunStatTests() (StatTests, error) {
+// RunStatTests executes the battery. Cancellation is checked between
+// tests; a cancelled run returns ctx.Err() with the partial StatTests.
+func (a *Analyzer) RunStatTests(ctx context.Context) (StatTests, error) {
 	var out StatTests
 	var err error
 
+	if err = ctx.Err(); err != nil {
+		return out, err
+	}
 	cpsTotal := a.res.HourlyTotalSeries(devicedb.CPS)
 	consTotal := a.res.HourlyTotalSeries(devicedb.Consumer)
 	// Order (consumer, CPS) so a negative Z mirrors the paper's Z = -5.95
@@ -440,15 +445,24 @@ func (a *Analyzer) RunStatTests() (StatTests, error) {
 	if err != nil {
 		return out, err
 	}
+	if err = ctx.Err(); err != nil {
+		return out, err
+	}
 	out.BackscatterCPSvsConsumer, err = stats.MannWhitneyU(
 		a.res.HourlyClassSeries(classify.Backscatter, devicedb.Consumer),
 		a.res.HourlyClassSeries(classify.Backscatter, devicedb.CPS))
 	if err != nil {
 		return out, err
 	}
+	if err = ctx.Err(); err != nil {
+		return out, err
+	}
 	udp := a.UDPSurface(devicedb.Consumer)
 	out.ConsumerUDPPortsVsIPs, err = stats.Pearson(udp.DstPorts, udp.DstIPs)
 	if err != nil {
+		return out, err
+	}
+	if err = ctx.Err(); err != nil {
 		return out, err
 	}
 	scanCons := a.ScanSurface(devicedb.Consumer)

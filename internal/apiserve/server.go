@@ -35,6 +35,7 @@ import (
 	"iotscope/internal/devicedb"
 	"iotscope/internal/netx"
 	"iotscope/internal/notify"
+	"iotscope/internal/pipeline"
 	"iotscope/internal/resilience"
 )
 
@@ -52,6 +53,9 @@ type Server struct {
 
 	draining   atomic.Bool
 	reloadFail atomic.Pointer[reloadFailure]
+	// loadRep is the latest snapshot load's per-stage pipeline report
+	// (successful or not), served read-only on /v1/pipeline.
+	loadRep atomic.Pointer[pipeline.Report]
 
 	limiter *resilience.Limiter
 	rate    *resilience.RateLimiter
@@ -151,6 +155,27 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/campaigns", s.auth(s.snapped((*Snapshot).handleCampaigns)))
 	s.mux.HandleFunc("GET /v1/malware", s.auth(s.snapped((*Snapshot).handleMalware)))
 	s.mux.HandleFunc("GET /v1/reports", s.auth(s.snapped((*Snapshot).handleReports)))
+	s.mux.HandleFunc("GET /v1/pipeline", s.auth(s.handlePipeline))
+}
+
+// SetLoadReport publishes the per-stage report of the latest snapshot load
+// attempt (boot or hot reload, successful or rejected) for /v1/pipeline.
+// The report must not be mutated after it is handed over.
+func (s *Server) SetLoadReport(rep *pipeline.Report) {
+	if rep != nil {
+		s.loadRep.Store(rep)
+	}
+}
+
+// handlePipeline serves the latest load's pipeline report — how long each
+// stage took and which one stopped a rejected reload.
+func (s *Server) handlePipeline(w http.ResponseWriter, _ *http.Request) {
+	rep := s.loadRep.Load()
+	if rep == nil {
+		writeError(w, http.StatusNotFound, "no pipeline report recorded")
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // snapped binds a snapshot-scoped handler to whatever snapshot is current

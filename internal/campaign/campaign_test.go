@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"os"
 	"slices"
 	"testing"
@@ -162,7 +163,7 @@ func TestDetectOnGeneratedWorld(t *testing.T) {
 	if _, err := g.Run(dir); err != nil {
 		t.Fatal(err)
 	}
-	res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(dir)
+	res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,9 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,9 +25,11 @@ import (
 	"iotscope/internal/analysis"
 	"iotscope/internal/correlate"
 	"iotscope/internal/devicedb"
+	"iotscope/internal/flowtuple"
 	"iotscope/internal/geo"
 	"iotscope/internal/malwaredb"
 	"iotscope/internal/netx"
+	"iotscope/internal/pipeline"
 	"iotscope/internal/rng"
 	"iotscope/internal/threatintel"
 	"iotscope/internal/wgen"
@@ -59,6 +63,11 @@ type Config struct {
 	// ExploreTopPerCategory is the full-scale Sec. V-A explored-device cut
 	// (scaled like everything else; the paper used 4,000 per realm).
 	ExploreTopPerCategory int
+	// Lenient selects the lenient ingestion fault policy: unreadable hour
+	// files are quarantined and the rest of the dataset still analyzed.
+	// This is the shared knob batch (iotinfer) and watch (iotwatch) modes
+	// both derive their correlator from, so the policies cannot drift.
+	Lenient bool
 }
 
 // DefaultConfig returns the paper-calibrated configuration.
@@ -239,46 +248,161 @@ type Results struct {
 	Malware   malwaredb.Correlation
 }
 
-// Analyze runs the paper's pipeline over the dataset.
-func (ds *Dataset) Analyze(cfg Config) (*Results, error) {
-	corr := correlate.New(ds.Inventory, correlate.Options{
+// Stage names of the analysis pipeline, in run order. Every tool that
+// drives the engine reports these names in its -stage-report output.
+const (
+	StageCorrelate    = "correlate"
+	StageCharacterize = "characterize"
+	StageStatTests    = "stat-tests"
+	StageThreatIntel  = "threat-intel"
+	StageMalware      = "malware"
+)
+
+// Stage names of the snapshot-load pipeline (see LoadSnapshot).
+const (
+	StageOpen   = "open"
+	StageVerify = "verify"
+	StageLoad   = "analyze"
+)
+
+// CorrelatorOptions derives the correlate.Options for this configuration —
+// the single place batch, watch, and serving modes get their correlator
+// wiring from.
+func (cfg Config) CorrelatorOptions() correlate.Options {
+	opts := correlate.Options{
 		Workers:     cfg.Workers,
 		UseSketches: cfg.UseSketches,
-	})
-	res, err := corr.ProcessDataset(ds.Dir)
+	}
+	if cfg.Lenient {
+		opts.FaultPolicy = correlate.Lenient
+	}
+	return opts
+}
+
+// NewIncremental returns an incremental correlator over the dataset's
+// inventory, sized for the scenario's hour window and configured exactly
+// like batch analysis (see Config.CorrelatorOptions).
+func (ds *Dataset) NewIncremental(cfg Config) (*correlate.Incremental, error) {
+	maxHours := ds.Scenario.Hours
+	if maxHours <= 0 {
+		maxHours = 24 * 365
+	}
+	return correlate.New(ds.Inventory, cfg.CorrelatorOptions()).NewIncremental(maxHours)
+}
+
+// classifyIngestErr refines the stage's error class with the correlate
+// fault taxonomy; context errors keep the engine's own classification.
+func classifyIngestErr(m *pipeline.StageMetrics, err error) {
+	switch {
+	case err == nil, errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case correlate.IsRetryable(err):
+		m.ErrorClass = "retryable"
+	case errors.Is(err, flowtuple.ErrBadFormat):
+		m.ErrorClass = "corrupt"
+	}
+}
+
+// AnalysisStages returns the paper's pipeline as named stages — correlate
+// → characterize → stat-tests → threat-intel → malware — writing into out
+// as they run. Every cmd and LoadSnapshot composes these same stages, so
+// there is exactly one wiring of the analysis path.
+func (ds *Dataset) AnalysisStages(cfg Config, out *Results) []pipeline.Stage {
+	return []pipeline.Stage{
+		pipeline.Func(StageCorrelate, func(ctx context.Context, st *pipeline.State) error {
+			corr := correlate.New(ds.Inventory, cfg.CorrelatorOptions())
+			res, err := corr.ProcessDataset(ctx, ds.Dir)
+			if err != nil {
+				classifyIngestErr(pipeline.Meter(ctx), err)
+				return fmt.Errorf("core: correlate: %w", err)
+			}
+			m := pipeline.Meter(ctx)
+			var iot uint64
+			for i := range res.Hourly {
+				iot += res.Hourly[i].RecordsIoT
+			}
+			m.RecordsIn = res.Background.Records + iot
+			m.RecordsOut = uint64(len(res.Devices))
+			m.Retries = res.Ingest.HoursRetried
+			m.QuarantinedHours = res.Ingest.HoursQuarantined
+			out.Correlate = res
+			return nil
+		}),
+		pipeline.Func(StageCharacterize, func(ctx context.Context, st *pipeline.State) error {
+			an := analysis.New(out.Correlate, ds.Inventory, ds.Registry)
+			out.Analyzer = an
+			out.Summary = an.Summary()
+			m := pipeline.Meter(ctx)
+			m.RecordsIn = uint64(len(out.Correlate.Devices))
+			m.RecordsOut = uint64(out.Summary.Total)
+			return nil
+		}),
+		pipeline.Func(StageStatTests, func(ctx context.Context, st *pipeline.State) error {
+			var err error
+			out.StatTests, err = out.Analyzer.RunStatTests(ctx)
+			if err != nil {
+				return fmt.Errorf("core: stat tests: %w", err)
+			}
+			return nil
+		}),
+		pipeline.Func(StageThreatIntel, func(ctx context.Context, st *pipeline.State) error {
+			// Sec. V-A: threat-repository correlation, cut scaled like the
+			// paper.
+			topCut := cfg.ExploreTopPerCategory
+			if topCut <= 0 {
+				topCut = 4000
+			}
+			scaled := int(float64(topCut)*ds.Scenario.Scale + 0.5)
+			if scaled < 10 {
+				scaled = 10
+			}
+			var err error
+			out.Threat, err = threatintel.Investigate(ctx,
+				threatintel.InvestigateConfig{TopPerCategory: scaled},
+				out.Correlate, ds.Inventory, ds.Threat)
+			if err != nil {
+				return fmt.Errorf("core: threat intel: %w", err)
+			}
+			m := pipeline.Meter(ctx)
+			m.RecordsIn = uint64(out.Threat.Explored)
+			m.RecordsOut = uint64(len(out.Threat.Flagged))
+			return nil
+		}),
+		pipeline.Func(StageMalware, func(ctx context.Context, st *pipeline.State) error {
+			// Sec. V-B: malware-database correlation over every inferred
+			// device.
+			ips := make(map[int]netx.Addr, len(out.Correlate.Devices))
+			for id := range out.Correlate.Devices {
+				ips[id] = ds.Inventory.At(id).IP
+			}
+			var err error
+			out.Malware, err = ds.Malware.Correlate(ctx, ips, ds.Catalog)
+			if err != nil {
+				return fmt.Errorf("core: malware correlate: %w", err)
+			}
+			m := pipeline.Meter(ctx)
+			m.RecordsIn = uint64(len(ips))
+			m.RecordsOut = uint64(len(out.Malware.MatchedDevices))
+			return nil
+		}),
+	}
+}
+
+// AnalyzeStaged runs the paper's pipeline over the dataset through the
+// staged engine, returning the per-stage report alongside the results. The
+// report is returned even on failure — it records which stage stopped the
+// run and why.
+func (ds *Dataset) AnalyzeStaged(ctx context.Context, cfg Config) (*Results, *pipeline.Report, error) {
+	out := &Results{}
+	rep, err := pipeline.New("analyze", ds.AnalysisStages(cfg, out)...).Run(ctx, nil)
 	if err != nil {
-		return nil, fmt.Errorf("core: correlate: %w", err)
+		return nil, rep, err
 	}
-	an := analysis.New(res, ds.Inventory, ds.Registry)
+	return out, rep, nil
+}
 
-	out := &Results{
-		Analyzer:  an,
-		Correlate: res,
-		Summary:   an.Summary(),
-	}
-	out.StatTests, err = an.RunStatTests()
-	if err != nil {
-		return nil, fmt.Errorf("core: stat tests: %w", err)
-	}
-
-	// Sec. V-A: threat-repository correlation, cut scaled like the paper.
-	topCut := cfg.ExploreTopPerCategory
-	if topCut <= 0 {
-		topCut = 4000
-	}
-	scaled := int(float64(topCut)*ds.Scenario.Scale + 0.5)
-	if scaled < 10 {
-		scaled = 10
-	}
-	out.Threat = threatintel.Investigate(
-		threatintel.InvestigateConfig{TopPerCategory: scaled},
-		res, ds.Inventory, ds.Threat)
-
-	// Sec. V-B: malware-database correlation over every inferred device.
-	ips := make(map[int]netx.Addr, len(res.Devices))
-	for id := range res.Devices {
-		ips[id] = ds.Inventory.At(id).IP
-	}
-	out.Malware = ds.Malware.Correlate(ips, ds.Catalog)
-	return out, nil
+// Analyze runs the paper's pipeline over the dataset. It is the
+// non-cancellable convenience form of AnalyzeStaged.
+func (ds *Dataset) Analyze(cfg Config) (*Results, error) {
+	res, _, err := ds.AnalyzeStaged(context.Background(), cfg)
+	return res, err
 }

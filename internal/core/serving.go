@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"iotscope/internal/flowtuple"
+	"iotscope/internal/pipeline"
 )
 
 // VerifyHours replays every hour file of the dataset end to end with
@@ -11,8 +13,12 @@ import (
 // returns the first failure, wrapped with its hour. This is the
 // validation gate hot reload runs before committing to a snapshot: a
 // dataset that fails verification must never replace one that serves.
-func (ds *Dataset) VerifyHours() error {
+// Cancellation is checked between hour files.
+func (ds *Dataset) VerifyHours(ctx context.Context) error {
 	for h := 0; h < ds.Scenario.Hours; h++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if _, err := flowtuple.Verify(flowtuple.HourPath(ds.Dir, h)); err != nil {
 			return fmt.Errorf("core: verify hour %d: %w", h, err)
 		}
@@ -21,22 +27,39 @@ func (ds *Dataset) VerifyHours() error {
 }
 
 // LoadSnapshot opens the dataset at dir, verifies every hour file, and
-// runs the full analysis with the dataset's own scale/seed configuration.
-// It is the one-call snapshot loader for serving: nothing is returned
-// unless the whole dataset read cleanly and analyzed, so a caller can
-// atomically swap the pair in without ever serving a half-loaded world.
-func LoadSnapshot(dir string) (*Dataset, *Results, error) {
-	ds, err := Open(dir)
+// runs the full analysis with the dataset's own scale/seed configuration —
+// all as stages of a "load-snapshot" pipeline (open → verify → analyze,
+// the last expanding into the AnalysisStages). Nothing is returned unless
+// the whole dataset read cleanly and analyzed, so a caller can atomically
+// swap the pair in without ever serving a half-loaded world; iotserve runs
+// this under its reload deadline, and a deadline hit surfaces as
+// ctx.Err(). The report is returned even on failure and records which
+// stage stopped the load.
+func LoadSnapshot(ctx context.Context, dir string) (*Dataset, *Results, *pipeline.Report, error) {
+	var ds *Dataset
+	res := &Results{}
+	rep, err := pipeline.New("load-snapshot",
+		pipeline.Func(StageOpen, func(ctx context.Context, st *pipeline.State) error {
+			var err error
+			ds, err = Open(dir)
+			return err
+		}),
+		pipeline.Func(StageVerify, func(ctx context.Context, st *pipeline.State) error {
+			m := pipeline.Meter(ctx)
+			m.RecordsIn = uint64(ds.Scenario.Hours)
+			err := ds.VerifyHours(ctx)
+			classifyIngestErr(m, err)
+			return err
+		}),
+		// The analysis sequence is composed at run time: the dataset (and
+		// with it the stage closures) only exists once "open" has run.
+		pipeline.Func(StageLoad, func(ctx context.Context, st *pipeline.State) error {
+			cfg := DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
+			return pipeline.Sequence("analysis", ds.AnalysisStages(cfg, res)...).Run(ctx, st)
+		}),
+	).Run(ctx, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, rep, err
 	}
-	if err := ds.VerifyHours(); err != nil {
-		return nil, nil, err
-	}
-	cfg := DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
-	res, err := ds.Analyze(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ds, res, nil
+	return ds, res, rep, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"os"
 	"testing"
@@ -33,7 +34,7 @@ func copyDataset(t *testing.T, src string) string {
 
 func TestLoadSnapshotCleanDataset(t *testing.T) {
 	ds, res := loadE2E(t)
-	ds2, res2, err := LoadSnapshot(ds.Dir)
+	ds2, res2, rep, err := LoadSnapshot(context.Background(), ds.Dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,6 +48,15 @@ func TestLoadSnapshotCleanDataset(t *testing.T) {
 	if res2.Correlate.Ingest.HoursOK != ds.Scenario.Hours {
 		t.Fatalf("ingest hoursOk %d, want %d",
 			res2.Correlate.Ingest.HoursOK, ds.Scenario.Hours)
+	}
+	// The load report covers the whole pipeline: open/verify/analyze plus
+	// the five expanded analysis stages, all ok.
+	for _, name := range []string{StageOpen, StageVerify, StageLoad,
+		StageCorrelate, StageCharacterize, StageStatTests, StageThreatIntel, StageMalware} {
+		m := rep.Stage(name)
+		if m == nil || m.Status != "ok" {
+			t.Fatalf("load report stage %q = %+v, want ok", name, m)
+		}
 	}
 }
 
@@ -64,7 +74,7 @@ func TestLoadSnapshotRejectsCorruptHour(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := LoadSnapshot(dir); err == nil {
+	if _, _, _, err := LoadSnapshot(context.Background(), dir); err == nil {
 		t.Fatal("corrupt hour accepted")
 	} else if !errors.Is(err, flowtuple.ErrBadFormat) {
 		t.Fatalf("corrupt hour error %v does not wrap ErrBadFormat", err)
@@ -75,7 +85,7 @@ func TestLoadSnapshotRejectsCorruptHour(t *testing.T) {
 	if err := os.Remove(flowtuple.HourPath(dir2, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := LoadSnapshot(dir2); err == nil {
+	if _, _, _, err := LoadSnapshot(context.Background(), dir2); err == nil {
 		t.Fatal("missing hour accepted")
 	}
 }

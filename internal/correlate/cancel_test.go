@@ -1,0 +1,120 @@
+package correlate
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Cancellation contract (see ProcessDataset and Incremental.Ingest): a
+// canceled context surfaces as ctx.Err() promptly, spawns no leaked
+// goroutines, records no fault or quarantine, and leaves the pooled hour
+// scratch clean enough that the very next run over the same correlator
+// state is byte-identical to a fresh one.
+
+// TestProcessDatasetPreCanceled: an already-canceled context returns
+// context.Canceled before any hour is processed.
+func TestProcessDatasetPreCanceled(t *testing.T) {
+	dir, g := cleanDataset(t, 47, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		c := New(g.Inventory(), Options{Workers: workers})
+		res, err := c.ProcessDataset(ctx, dir)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: partial result %+v leaked past cancellation", workers, res)
+		}
+	}
+}
+
+// TestProcessDatasetCancelMidRun: cancelling while workers are mid-dataset
+// returns context.Canceled within a tight bound, leaks no goroutines, and
+// the correlator remains reusable — a follow-up uncancelled run produces
+// the same Result as a never-cancelled correlator (the scratch pool was
+// not poisoned by partially-filled hour accumulators).
+func TestProcessDatasetCancelMidRun(t *testing.T) {
+	dir, g := cleanDataset(t, 48, 12)
+
+	ref := New(g.Inventory(), Options{Workers: 4})
+	want, err := ref.ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(g.Inventory(), Options{Workers: 4})
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i)*200*time.Microsecond)
+		start := time.Now()
+		res, err := c.ProcessDataset(ctx, dir)
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			// The dataset is small; a generous deadline can win the race.
+			// That is the success path, already covered elsewhere.
+			requireIdentical(t, want, res)
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iter %d: err = %v, want a context error", i, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("iter %d: cancellation took %v, want prompt return", i, elapsed)
+		}
+	}
+
+	// Give any straggler goroutines a moment to exit, then demand the
+	// count has settled back to (about) where it started.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked across cancelled runs: %d -> %d\n%s",
+			baseline, n, buf[:runtime.Stack(buf, true)])
+	}
+
+	// The same correlator instance — and therefore the same scratch pool
+	// that absorbed every cancelled run's buffers — must still produce a
+	// byte-identical Result.
+	got, err := c.ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, want, got)
+}
+
+// TestIngestCancelNoFault: a canceled Ingest is not a fault — nothing is
+// recorded in IngestStats, the hour is not quarantined, and the hour can
+// be ingested successfully afterwards.
+func TestIngestCancelNoFault(t *testing.T) {
+	dir, g := cleanDataset(t, 49, 4)
+	inc, err := New(g.Inventory(), Options{FaultPolicy: Lenient}).NewIncremental(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := inc.Ingest(ctx, dir, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := inc.Stats()
+	if st.HoursRetried != 0 || st.HoursQuarantined != 0 || len(st.Faults) != 0 {
+		t.Fatalf("cancellation was booked as a fault: %+v", st)
+	}
+	if inc.Quarantined(2) {
+		t.Fatal("cancelled hour was quarantined")
+	}
+	if _, err := inc.Ingest(context.Background(), dir, 2); err != nil {
+		t.Fatalf("hour unusable after cancelled attempt: %v", err)
+	}
+	if inc.HoursIngested() != 1 {
+		t.Fatalf("HoursIngested = %d, want 1", inc.HoursIngested())
+	}
+}

@@ -1,6 +1,8 @@
 package correlate
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -70,11 +72,24 @@ type hourOutcome struct {
 	err  error
 }
 
+// isCtxErr reports whether err is the context's own cancellation or
+// deadline error — never a dataset fault, so it must not reach the
+// quarantine/retry bookkeeping.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // ProcessDataset correlates every hourly file in dir. Hour files are
 // decoded by a bounded worker pool; completed partials flow through a
 // channel to a single merger goroutine, so workers never contend on the
 // global result and no merge lock exists.
-func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
+//
+// Cancelling ctx stops the run promptly: workers check ctx between record
+// batches, no further hours are dispatched, in-flight partials are drained
+// and recycled (the scratch pool stays clean), and ProcessDataset returns
+// ctx.Err() — cancellation is never recorded as an ingest fault or
+// quarantine, even under the Lenient policy.
+func (c *Correlator) ProcessDataset(ctx context.Context, dir string) (*Result, error) {
 	hours, err := flowtuple.DatasetHours(dir)
 	if err != nil {
 		return nil, err
@@ -103,6 +118,11 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 		defer close(done)
 		for o := range parts {
 			if o.err != nil {
+				// A worker stopped by cancellation produced no partial and
+				// no dataset fault; ctx.Err() is surfaced after the drain.
+				if isCtxErr(o.err) {
+					continue
+				}
 				// Lenient: the hour's partial aggregate was dropped whole
 				// (nothing reaches the merge), the fault recorded, the rest
 				// of the dataset still ingested. Strict: remember the
@@ -123,12 +143,15 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 		}
 	}()
 	for _, hour := range hours {
+		if ctx.Err() != nil {
+			break // stop dispatching; drained below
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(hour int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			s, err := c.processHourDense(dir, hour)
+			s, err := c.processHourDense(ctx, dir, hour)
 			parts <- hourOutcome{hour: hour, s: s, err: err}
 		}(hour)
 	}
@@ -138,6 +161,9 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 	if hourErr != nil {
 		return nil, hourErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st.finalizeResult(res)
 	res.Background.Sources = bgSources.Estimate()
 	return res, nil
@@ -145,8 +171,8 @@ func (c *Correlator) ProcessDataset(dir string) (*Result, error) {
 
 // ProcessHour correlates a single hour file into a fresh partial Result —
 // useful for incremental pipelines and tests.
-func (c *Correlator) ProcessHour(dir string, hour int) (*Result, error) {
-	s, err := c.processHourDense(dir, hour)
+func (c *Correlator) ProcessHour(ctx context.Context, dir string, hour int) (*Result, error) {
+	s, err := c.processHourDense(ctx, dir, hour)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"testing"
 
 	"iotscope/internal/classify"
@@ -72,7 +73,7 @@ func buildTinyDataset(t *testing.T) (dir string, inv *devicedb.Inventory) {
 
 func TestProcessDatasetTiny(t *testing.T) {
 	dir, inv := buildTinyDataset(t)
-	res, err := New(inv, Options{Workers: 2}).ProcessDataset(dir)
+	res, err := New(inv, Options{Workers: 2}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestProcessDatasetTiny(t *testing.T) {
 
 func TestResultHelpers(t *testing.T) {
 	dir, inv := buildTinyDataset(t)
-	res, err := New(inv, Options{}).ProcessDataset(dir)
+	res, err := New(inv, Options{}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestResultHelpers(t *testing.T) {
 
 func TestProcessHourSingle(t *testing.T) {
 	dir, inv := buildTinyDataset(t)
-	res, err := New(inv, Options{}).ProcessHour(dir, 1)
+	res, err := New(inv, Options{}).ProcessHour(context.Background(), dir, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestProcessHourSingle(t *testing.T) {
 
 func TestProcessDatasetEmptyDir(t *testing.T) {
 	inv, _ := devicedb.NewInventory(nil)
-	if _, err := New(inv, Options{}).ProcessDataset(t.TempDir()); err == nil {
+	if _, err := New(inv, Options{}).ProcessDataset(context.Background(), t.TempDir()); err == nil {
 		t.Fatal("empty dir accepted")
 	}
 }
@@ -208,11 +209,11 @@ func TestPortBitset(t *testing.T) {
 
 func TestSketchModeClose(t *testing.T) {
 	dir, inv := buildTinyDataset(t)
-	exact, err := New(inv, Options{}).ProcessDataset(dir)
+	exact, err := New(inv, Options{}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := New(inv, Options{UseSketches: true}).ProcessDataset(dir)
+	approx, err := New(inv, Options{UseSketches: true}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestRecoverGroundTruth(t *testing.T) {
 	if _, err := g.Run(dir); err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(g.Inventory(), Options{Workers: 2}).ProcessDataset(dir)
+	res, err := New(g.Inventory(), Options{Workers: 2}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func BenchmarkProcessDataset(b *testing.B) {
 	c := New(g.Inventory(), Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.ProcessDataset(dir); err != nil {
+		if _, err := c.ProcessDataset(context.Background(), dir); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"io"
 	"math/bits"
 	"slices"
@@ -303,8 +304,13 @@ func (c *Correlator) putScratch(s *hourScratch) {
 
 // processHourDense streams one hour file into a dense scratch aggregate.
 // On success the caller owns the scratch and must return it with putScratch
-// once merged; on error the scratch has already been recycled.
-func (c *Correlator) processHourDense(dir string, hour int) (*hourScratch, error) {
+// once merged; on error — including cancellation, checked between record
+// batches — the scratch has already been reset and recycled, so the pool
+// never sees partial state.
+func (c *Correlator) processHourDense(ctx context.Context, dir string, hour int) (*hourScratch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, err := c.getScratch()
 	if err != nil {
 		return nil, err
@@ -318,6 +324,10 @@ func (c *Correlator) processHourDense(dir string, hour int) (*hourScratch, error
 	}
 	defer rd.Close()
 	for {
+		if err := ctx.Err(); err != nil {
+			c.putScratch(s)
+			return nil, err
+		}
 		n, err := rd.NextBatch(s.batch)
 		for i := 0; i < n; i++ {
 			c.accumulate(s, hour, &s.batch[i])

@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestDenseMatchesReferenceStrict(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.ProcessDataset(dir)
+		got, err := c.ProcessDataset(context.Background(), dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func TestDenseMatchesReferenceLenient(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.ProcessDataset(dir)
+		got, err := c.ProcessDataset(context.Background(), dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestDenseMatchesReferenceStrictError(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		c := New(g.Inventory(), Options{Workers: workers})
 		_, wantErr := refProcessDataset(c, dir)
-		_, gotErr := c.ProcessDataset(dir)
+		_, gotErr := c.ProcessDataset(context.Background(), dir)
 		if wantErr == nil || gotErr == nil {
 			t.Fatalf("workers=%d: damaged dataset accepted (ref=%v dense=%v)", workers, wantErr, gotErr)
 		}
@@ -132,7 +133,7 @@ func TestDenseMatchesReferenceSketches(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.ProcessDataset(dir)
+		got, err := c.ProcessDataset(context.Background(), dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +159,7 @@ func TestDenseIncrementalMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, h := range hours {
-		if _, err := inc.Ingest(dir, h); err != nil {
+		if _, err := inc.Ingest(context.Background(), dir, h); err != nil {
 			t.Fatalf("hour %d: %v", h, err)
 		}
 	}
@@ -174,14 +175,14 @@ func TestScratchReuseIsClean(t *testing.T) {
 	// First pass warms the scratch pool; the reference path never touches
 	// it, so any state leaking across recycled scratches shows up as a
 	// divergence on the second pass.
-	if _, err := c.ProcessDataset(dir); err != nil {
+	if _, err := c.ProcessDataset(context.Background(), dir); err != nil {
 		t.Fatal(err)
 	}
 	want, err := refProcessDataset(c, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.ProcessDataset(dir)
+	got, err := c.ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"errors"
 	"os"
 	"reflect"
@@ -78,7 +79,7 @@ func TestStrictFailsFastDeterministically(t *testing.T) {
 	dir, g := damagedDataset(t)
 	c := New(g.Inventory(), Options{Workers: 3})
 	for i := 0; i < 3; i++ {
-		_, err := c.ProcessDataset(dir)
+		_, err := c.ProcessDataset(context.Background(), dir)
 		if err == nil {
 			t.Fatal("strict mode accepted damaged dataset")
 		}
@@ -97,7 +98,7 @@ func TestStrictFailsFastDeterministically(t *testing.T) {
 func TestLenientBatchQuarantinesAndContinues(t *testing.T) {
 	dir, g := damagedDataset(t)
 	c := New(g.Inventory(), Options{Workers: 3, FaultPolicy: Lenient})
-	res, err := c.ProcessDataset(dir)
+	res, err := c.ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestLenientBatchQuarantinesAndContinues(t *testing.T) {
 func TestLenientBatchIncrementalEquivalence(t *testing.T) {
 	dir, g := damagedDataset(t)
 	c := New(g.Inventory(), Options{FaultPolicy: Lenient})
-	batch, err := c.ProcessDataset(dir)
+	batch, err := c.ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestLenientBatchIncrementalEquivalence(t *testing.T) {
 		t.Fatalf("present hours %v", hours)
 	}
 	for _, h := range hours {
-		_, err := inc.Ingest(dir, h)
+		_, err := inc.Ingest(context.Background(), dir, h)
 		switch h {
 		case 2:
 			if err == nil || IsRetryable(err) {
@@ -165,7 +166,7 @@ func TestLenientBatchIncrementalEquivalence(t *testing.T) {
 				t.Fatal("permanent fault did not auto-quarantine")
 			}
 			// A second attempt is rejected outright.
-			if _, err := inc.Ingest(dir, 2); err == nil {
+			if _, err := inc.Ingest(context.Background(), dir, 2); err == nil {
 				t.Fatal("quarantined hour re-ingested")
 			}
 		case 3:
@@ -174,7 +175,7 @@ func TestLenientBatchIncrementalEquivalence(t *testing.T) {
 			}
 			// Retry twice (file never completes), then give up.
 			for i := 0; i < 2; i++ {
-				if _, err := inc.Ingest(dir, 3); err == nil || !IsRetryable(err) {
+				if _, err := inc.Ingest(context.Background(), dir, 3); err == nil || !IsRetryable(err) {
 					t.Fatalf("hour 3 retry %d: %v", i, err)
 				}
 			}
@@ -232,17 +233,17 @@ func TestIncrementalRetrySucceeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(dir, 0); err != nil {
+	if _, err := inc.Ingest(context.Background(), dir, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(dir, 1); err == nil || !IsRetryable(err) {
+	if _, err := inc.Ingest(context.Background(), dir, 1); err == nil || !IsRetryable(err) {
 		t.Fatalf("in-progress hour: %v", err)
 	}
 	// The writer finishes; the retry succeeds.
 	if err := os.WriteFile(path, complete, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(dir, 1); err != nil {
+	if _, err := inc.Ingest(context.Background(), dir, 1); err != nil {
 		t.Fatalf("retry after completion: %v", err)
 	}
 	st := inc.Stats()
@@ -251,7 +252,7 @@ func TestIncrementalRetrySucceeds(t *testing.T) {
 	}
 
 	// The final state matches a batch run over the completed dataset.
-	batch, err := c.ProcessDataset(dir)
+	batch, err := c.ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestStrictIncrementalRecordsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(dir, 2); err == nil {
+	if _, err := inc.Ingest(context.Background(), dir, 2); err == nil {
 		t.Fatal("corrupt hour accepted")
 	}
 	if inc.Quarantined(2) {
@@ -276,7 +277,7 @@ func TestStrictIncrementalRecordsNothing(t *testing.T) {
 		t.Fatalf("strict mode recorded faults: %+v", st)
 	}
 	// Strict callers may still retry manually: the hour stays open.
-	if _, err := inc.Ingest(dir, 2); err == nil {
+	if _, err := inc.Ingest(context.Background(), dir, 2); err == nil {
 		t.Fatal("corrupt hour accepted on retry")
 	}
 }

@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,7 +60,11 @@ func (c *Correlator) NewIncremental(maxHours int) (*Incremental, error) {
 // flowtuple.ErrBadFormat). Under the Lenient policy the fault is also
 // recorded in the running IngestStats, and permanent corruption
 // quarantines the hour; retryable failures leave it open for another try.
-func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
+//
+// Cancelling ctx mid-ingest returns ctx.Err() without recording a fault or
+// quarantining the hour — it stays eligible for a later Ingest, and the
+// partial accumulators are discarded whole exactly as on a fault.
+func (inc *Incremental) Ingest(ctx context.Context, dir string, hour int) ([]int, error) {
 	if hour < 0 || hour >= len(inc.res.Hourly) {
 		return nil, fmt.Errorf("correlate: hour %d outside [0, %d)", hour, len(inc.res.Hourly))
 	}
@@ -69,9 +74,9 @@ func (inc *Incremental) Ingest(dir string, hour int) ([]int, error) {
 	if inc.quarantined[hour] {
 		return nil, fmt.Errorf("correlate: hour %d quarantined", hour)
 	}
-	part, err := inc.c.processHourDense(dir, hour)
+	part, err := inc.c.processHourDense(ctx, dir, hour)
 	if err != nil {
-		if inc.c.opts.FaultPolicy == Lenient {
+		if inc.c.opts.FaultPolicy == Lenient && !isCtxErr(err) {
 			retryable := IsRetryable(err)
 			inc.res.Ingest.noteFailure(hour, err, retryable)
 			if !retryable {

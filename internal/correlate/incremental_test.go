@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"testing"
 
 	"iotscope/internal/classify"
@@ -20,7 +21,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := New(g.Inventory(), Options{})
-	batch, err := c.ProcessDataset(dir)
+	batch, err := c.ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestIncrementalMatchesBatch(t *testing.T) {
 	}
 	totalFresh := 0
 	for h := 0; h < sc.Hours; h++ {
-		fresh, err := inc.Ingest(dir, h)
+		fresh, err := inc.Ingest(context.Background(), dir, h)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestIncrementalOutOfOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := New(g.Inventory(), Options{})
-	batch, err := c.ProcessDataset(dir)
+	batch, err := c.ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestIncrementalOutOfOrder(t *testing.T) {
 	}
 	// Reverse order: merges are commutative, first-seen still via min.
 	for h := sc.Hours - 1; h >= 0; h-- {
-		if _, err := inc.Ingest(dir, h); err != nil {
+		if _, err := inc.Ingest(context.Background(), dir, h); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,10 +119,10 @@ func TestIncrementalGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(t.TempDir(), 9); err == nil {
+	if _, err := inc.Ingest(context.Background(), t.TempDir(), 9); err == nil {
 		t.Fatal("hour beyond window accepted")
 	}
-	if _, err := inc.Ingest(t.TempDir(), 1); err == nil {
+	if _, err := inc.Ingest(context.Background(), t.TempDir(), 1); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -133,10 +134,10 @@ func TestIncrementalDuplicateHour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(dir, 0); err != nil {
+	if _, err := inc.Ingest(context.Background(), dir, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inc.Ingest(dir, 0); err == nil {
+	if _, err := inc.Ingest(context.Background(), dir, 0); err == nil {
 		t.Fatal("duplicate hour accepted")
 	}
 }

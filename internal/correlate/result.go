@@ -11,6 +11,8 @@
 package correlate
 
 import (
+	"fmt"
+
 	"iotscope/internal/classify"
 	"iotscope/internal/devicedb"
 )
@@ -93,6 +95,19 @@ type TCPPortAgg struct {
 type PortHour struct {
 	Port uint16
 	Hour uint16
+}
+
+// MarshalText renders the key as "port/hour" so maps keyed by PortHour are
+// JSON-serializable (encoding/json requires text-marshalable map keys, and
+// sorts them, so serialized results are deterministic).
+func (ph PortHour) MarshalText() ([]byte, error) {
+	return fmt.Appendf(nil, "%d/%d", ph.Port, ph.Hour), nil
+}
+
+// UnmarshalText parses the "port/hour" form produced by MarshalText.
+func (ph *PortHour) UnmarshalText(text []byte) error {
+	_, err := fmt.Sscanf(string(text), "%d/%d", &ph.Port, &ph.Hour)
+	return err
 }
 
 // BackgroundStats counts traffic from sources outside the inventory, which

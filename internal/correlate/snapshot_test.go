@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -35,7 +36,7 @@ func TestSnapshotIsDetached(t *testing.T) {
 		t.Fatal(err)
 	}
 	for h := 0; h < 3; h++ {
-		if _, err := inc.Ingest(dir, h); err != nil {
+		if _, err := inc.Ingest(context.Background(), dir, h); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func TestSnapshotIsDetached(t *testing.T) {
 
 	// Further ingestion must not leak into the exported snapshot.
 	for h := 3; h < hours; h++ {
-		if _, err := inc.Ingest(dir, h); err != nil {
+		if _, err := inc.Ingest(context.Background(), dir, h); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,7 +84,7 @@ func TestCloneEqualsOriginal(t *testing.T) {
 		t.Fatal(err)
 	}
 	for h := 0; h < hours; h++ {
-		if _, err := inc.Ingest(dir, h); err != nil {
+		if _, err := inc.Ingest(context.Background(), dir, h); err != nil {
 			t.Fatal(err)
 		}
 	}

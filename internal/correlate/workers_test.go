@@ -1,6 +1,7 @@
 package correlate
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"testing"
@@ -23,11 +24,11 @@ func TestWorkerCountInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	serial, err := New(g.Inventory(), Options{Workers: 1}).ProcessDataset(dir)
+	serial, err := New(g.Inventory(), Options{Workers: 1}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := New(g.Inventory(), Options{Workers: 8}).ProcessDataset(dir)
+	parallel, err := New(g.Inventory(), Options{Workers: 8}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestMissingHourTolerated(t *testing.T) {
 	if err := removeHour(dir, 3); err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(g.Inventory(), Options{}).ProcessDataset(dir)
+	res, err := New(g.Inventory(), Options{}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +127,11 @@ func TestSketchAccuracyAtScale(t *testing.T) {
 	if _, err := g.Run(dir); err != nil {
 		t.Fatal(err)
 	}
-	exact, err := New(g.Inventory(), Options{}).ProcessDataset(dir)
+	exact, err := New(g.Inventory(), Options{}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := New(g.Inventory(), Options{UseSketches: true}).ProcessDataset(dir)
+	approx, err := New(g.Inventory(), Options{UseSketches: true}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package flowtuple
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -66,7 +67,9 @@ func (r *Reader) NextBatch(dst []Record) (int, error) {
 // WalkHourBatch opens the given hour file in dir and invokes fn with
 // successive batches of records. The batch slice is reused between calls
 // and is only valid until fn returns; fn must copy any record it retains.
-func WalkHourBatch(dir string, hour int, fn func(batch []Record) error) error {
+// Cancellation is checked between frames: once ctx is done the walk stops
+// before the next batch and returns ctx.Err().
+func WalkHourBatch(ctx context.Context, dir string, hour int, fn func(batch []Record) error) error {
 	r, err := Open(HourPath(dir, hour))
 	if err != nil {
 		return err
@@ -74,6 +77,9 @@ func WalkHourBatch(dir string, hour int, fn func(batch []Record) error) error {
 	defer r.Close()
 	buf := make([]Record, BatchSize)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := r.NextBatch(buf)
 		if n > 0 {
 			if err := fn(buf[:n]); err != nil {

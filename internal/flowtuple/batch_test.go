@@ -1,6 +1,7 @@
 package flowtuple
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -103,7 +104,7 @@ func TestWalkHourBatchEquivalence(t *testing.T) {
 	var byBatch []Record
 	var prev *Record
 	batches := 0
-	if err := WalkHourBatch(dir, 0, func(batch []Record) error {
+	if err := WalkHourBatch(context.Background(), dir, 0, func(batch []Record) error {
 		if batches > 0 && prev != &batch[0] {
 			t.Error("batch buffer not reused between callbacks")
 		}

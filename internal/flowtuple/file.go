@@ -3,6 +3,7 @@ package flowtuple
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -414,7 +415,7 @@ func DatasetHours(dir string) ([]int, error) {
 
 // WalkHour opens the given hour file in dir and invokes fn for each record.
 func WalkHour(dir string, hour int, fn func(Record) error) error {
-	return WalkHourBatch(dir, hour, func(batch []Record) error {
+	return WalkHourBatch(context.Background(), dir, hour, func(batch []Record) error {
 		for i := range batch {
 			if err := fn(batch[i]); err != nil {
 				return err

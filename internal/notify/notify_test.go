@@ -2,6 +2,7 @@ package notify
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func buildWorld(t *testing.T) (*wgen.Generator, *correlate.Result, *threatintel.
 	if _, err := g.Run(dir); err != nil {
 		t.Fatal(err)
 	}
-	res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(dir)
+	res, err := correlate.New(g.Inventory(), correlate.Options{}).ProcessDataset(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

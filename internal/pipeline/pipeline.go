@@ -1,0 +1,449 @@
+// Package pipeline is the staged execution engine the paper's methodology
+// maps onto: ingest flowtuples → infer compromised devices → characterize
+// traffic → investigate maliciousness → report. Each step is a Stage — a
+// named, context-aware unit of work over a shared State — and an Engine
+// runs a stage list sequentially, instrumenting every stage (wall time,
+// records in/out, retries, quarantined hours, error class) into a
+// JSON-serializable Report.
+//
+// The engine is deliberately small: composition (Sequence, Parallel,
+// Retry) covers the shapes the tools need, cancellation is first-class
+// (a stage that honors its ctx makes the whole pipeline cancellable), and
+// observability is free — every cmd that drives an Engine can dump the
+// Report with -stage-report.
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+)
+
+// Stage is one named unit of pipeline work. Run must honor ctx: a stage
+// that can block or loop checks ctx.Err() at its natural boundaries
+// (between hour files, between record batches) and returns the context's
+// error promptly when cancelled, leaving any pooled or shared state
+// reusable.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, st *State) error
+}
+
+// State is the keyed blackboard stages communicate through. Most stages
+// close over typed values instead; State exists for loosely coupled
+// composition (a cmd appending a custom stage after library stages) and is
+// safe for concurrent use by Parallel branches.
+type State struct {
+	mu   sync.RWMutex
+	vals map[string]any
+}
+
+// NewState returns an empty state.
+func NewState() *State { return &State{vals: make(map[string]any)} }
+
+// Put stores a value under key.
+func (s *State) Put(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[key] = v
+}
+
+// Get returns the value stored under key.
+func (s *State) Get(key string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vals[key]
+	return v, ok
+}
+
+type funcStage struct {
+	name string
+	fn   func(ctx context.Context, st *State) error
+}
+
+// Func adapts a function to the Stage interface.
+func Func(name string, fn func(ctx context.Context, st *State) error) Stage {
+	return funcStage{name: name, fn: fn}
+}
+
+func (f funcStage) Name() string                             { return f.name }
+func (f funcStage) Run(ctx context.Context, st *State) error { return f.fn(ctx, st) }
+
+// Stage status values recorded in StageMetrics.
+const (
+	StatusOK      = "ok"
+	StatusFailed  = "failed"
+	StatusSkipped = "skipped"
+)
+
+// StageMetrics is one stage's observability record. Stages fill the
+// workload fields through Meter; the engine fills timing and error fields.
+type StageMetrics struct {
+	Name   string  `json:"name"`
+	Status string  `json:"status"`
+	WallMS float64 `json:"wallMs"`
+	// RecordsIn / RecordsOut count the stage's input and output units in
+	// whatever grain the stage documents (flowtuple records, devices,
+	// bundles); zero values are omitted.
+	RecordsIn  uint64 `json:"recordsIn,omitempty"`
+	RecordsOut uint64 `json:"recordsOut,omitempty"`
+	// Retries counts retried attempts (the Retry combinator and the watch
+	// loop's per-hour backoff both record here).
+	Retries int `json:"retries,omitempty"`
+	// QuarantinedHours counts hour files abandoned under a lenient fault
+	// policy while this stage ran.
+	QuarantinedHours int `json:"quarantinedHours,omitempty"`
+	// ErrorClass buckets the failure ("canceled", "deadline", "missing",
+	// "retryable", "corrupt", "internal"); stages may pre-set it with
+	// domain knowledge, otherwise ErrorClass(err) fills it.
+	ErrorClass string `json:"errorClass,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Report is the JSON-serializable run record of one Engine.Run: one
+// StageMetrics per stage (including nested Sequence/Parallel children), in
+// start order.
+type Report struct {
+	Pipeline  string          `json:"pipeline"`
+	StartedAt time.Time       `json:"startedAt"`
+	WallMS    float64         `json:"wallMs"`
+	Stages    []*StageMetrics `json:"stages"`
+	Error     string          `json:"error,omitempty"`
+
+	mu sync.Mutex
+}
+
+func (r *Report) add(m *StageMetrics) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.Stages = append(r.Stages, m)
+	r.mu.Unlock()
+}
+
+// Stage returns the first metrics entry with the given name, or nil.
+func (r *Report) Stage(name string) *StageMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.Stages {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// EmitReport writes the report to the destination named by a -stage-report
+// flag value: "" is a no-op, "-" writes to stderr, anything else
+// creates/truncates that file. A nil report with a non-empty path is an
+// error (the run never produced one).
+func EmitReport(rep *Report, path string) error {
+	if path == "" {
+		return nil
+	}
+	if rep == nil {
+		return fmt.Errorf("pipeline: no stage report to emit")
+	}
+	if path == "-" {
+		return rep.WriteJSON(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type ctxKey int
+
+const (
+	reportKey ctxKey = iota
+	meterKey
+)
+
+func reportFrom(ctx context.Context) *Report {
+	r, _ := ctx.Value(reportKey).(*Report)
+	return r
+}
+
+// Meter returns the running stage's metrics record so layers below can
+// report workload counts without depending on the engine. Outside an
+// engine-run stage it returns a detached record that is safe to mutate
+// and simply discarded.
+func Meter(ctx context.Context) *StageMetrics {
+	if m, ok := ctx.Value(meterKey).(*StageMetrics); ok {
+		return m
+	}
+	return &StageMetrics{}
+}
+
+// ErrorClass buckets an error for the report: context cancellation and
+// deadlines are distinguished from missing inputs and everything else, and
+// errors may override the bucket by implementing ErrorClass() string.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, fs.ErrNotExist):
+		return "missing"
+	}
+	var classed interface{ ErrorClass() string }
+	if errors.As(err, &classed) {
+		return classed.ErrorClass()
+	}
+	return "internal"
+}
+
+// runStage executes one stage against a pre-registered metrics record,
+// filling timing, status, and error fields.
+func runStage(ctx context.Context, st *State, stage Stage, m *StageMetrics) error {
+	ctx = context.WithValue(ctx, meterKey, m)
+	start := time.Now()
+	err := stage.Run(ctx, st)
+	m.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		m.Status = StatusFailed
+		m.Error = err.Error()
+		if m.ErrorClass == "" {
+			m.ErrorClass = ErrorClass(err)
+		}
+		return err
+	}
+	m.Status = StatusOK
+	return nil
+}
+
+// instrument registers a metrics record for the stage in the run's report
+// and executes it.
+func instrument(ctx context.Context, st *State, stage Stage) error {
+	m := &StageMetrics{Name: stage.Name()}
+	reportFrom(ctx).add(m)
+	return runStage(ctx, st, stage, m)
+}
+
+// skip records a stage as skipped (a prior stage failed or the run was
+// cancelled before it started).
+func skip(ctx context.Context, stage Stage) {
+	reportFrom(ctx).add(&StageMetrics{Name: stage.Name(), Status: StatusSkipped})
+}
+
+// Engine runs a named list of stages sequentially.
+type Engine struct {
+	name   string
+	stages []Stage
+}
+
+// New returns an engine over the stages.
+func New(name string, stages ...Stage) *Engine {
+	return &Engine{name: name, stages: stages}
+}
+
+// Run executes the stages in order against st (nil allocates a fresh
+// State), stopping at the first failure; later stages are recorded as
+// skipped. The Report is returned even when Run fails — it describes how
+// far the pipeline got and why it stopped.
+func (e *Engine) Run(ctx context.Context, st *State) (*Report, error) {
+	if st == nil {
+		st = NewState()
+	}
+	rep := &Report{Pipeline: e.name, StartedAt: time.Now().UTC()}
+	ctx = context.WithValue(ctx, reportKey, rep)
+	start := time.Now()
+	err := runSequence(ctx, st, e.stages)
+	rep.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		rep.Error = err.Error()
+	}
+	return rep, err
+}
+
+// runSequence is the shared sequential executor behind Engine.Run and
+// Sequence: first error stops the run, remaining stages are marked
+// skipped, and a context already cancelled before a stage starts skips it
+// and surfaces ctx.Err().
+func runSequence(ctx context.Context, st *State, stages []Stage) error {
+	var firstErr error
+	for _, stage := range stages {
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+		if firstErr != nil {
+			skip(ctx, stage)
+			continue
+		}
+		if err := instrument(ctx, st, stage); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+type seqStage struct {
+	name   string
+	stages []Stage
+}
+
+// Sequence groups stages into one composite stage that runs its children
+// in order. Children are instrumented individually in the enclosing run's
+// report.
+func Sequence(name string, stages ...Stage) Stage {
+	return &seqStage{name: name, stages: stages}
+}
+
+func (s *seqStage) Name() string { return s.name }
+func (s *seqStage) Run(ctx context.Context, st *State) error {
+	return runSequence(ctx, st, s.stages)
+}
+
+type parStage struct {
+	name   string
+	stages []Stage
+}
+
+// Parallel groups stages into one composite stage that runs its children
+// concurrently. The first failure cancels the siblings' context; every
+// child still gets its own metrics record, registered in declaration
+// order.
+func Parallel(name string, stages ...Stage) Stage {
+	return &parStage{name: name, stages: stages}
+}
+
+func (p *parStage) Name() string { return p.name }
+func (p *parStage) Run(ctx context.Context, st *State) error {
+	rep := reportFrom(ctx)
+	metrics := make([]*StageMetrics, len(p.stages))
+	for i, stage := range p.stages {
+		metrics[i] = &StageMetrics{Name: stage.Name()}
+		rep.add(metrics[i])
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, stage := range p.stages {
+		wg.Add(1)
+		go func(stage Stage, m *StageMetrics) {
+			defer wg.Done()
+			if err := runStage(ctx, st, stage, m); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}(stage, metrics[i])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RetryPolicy bounds retry-with-backoff behavior for retryable stage
+// failures — the policy iotwatch applies per hour file and the Retry
+// combinator applies per stage.
+type RetryPolicy struct {
+	// MaxRetries is the retry budget after the initial attempt.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; it doubles each
+	// further retry.
+	BaseBackoff time.Duration
+	// Retryable classifies errors; nil retries nothing.
+	Retryable func(error) bool
+}
+
+// Delay returns the backoff before retry n (1-based): BaseBackoff
+// doubling per attempt.
+func (p RetryPolicy) Delay(retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > 32 {
+		retry = 32
+	}
+	return p.BaseBackoff << (retry - 1)
+}
+
+// Exhausted reports whether the budget allows no further retry after the
+// given number of retries already spent.
+func (p RetryPolicy) Exhausted(retries int) bool { return retries >= p.MaxRetries }
+
+// ShouldRetry reports whether err warrants another attempt after retries
+// already spent. Context cancellation is never retried.
+func (p RetryPolicy) ShouldRetry(err error, retries int) bool {
+	if err == nil || p.Retryable == nil || p.Exhausted(retries) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return p.Retryable(err)
+}
+
+// Sleep waits for d or until ctx is done, returning ctx's error in the
+// latter case.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+type retryStage struct {
+	inner  Stage
+	policy RetryPolicy
+}
+
+// Retry wraps a stage with the policy: retryable failures re-run the stage
+// after an exponential backoff, each retry recorded in the stage's
+// metrics; permanent failures and context cancellation surface
+// immediately.
+func Retry(inner Stage, policy RetryPolicy) Stage {
+	return &retryStage{inner: inner, policy: policy}
+}
+
+func (r *retryStage) Name() string { return r.inner.Name() }
+func (r *retryStage) Run(ctx context.Context, st *State) error {
+	m := Meter(ctx)
+	for retries := 0; ; retries++ {
+		err := r.inner.Run(ctx, st)
+		if err == nil || !r.policy.ShouldRetry(err, retries) {
+			return err
+		}
+		m.Retries++
+		if serr := Sleep(ctx, r.policy.Delay(retries+1)); serr != nil {
+			return serr
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEngineRunsStagesInOrder(t *testing.T) {
+	var order []string
+	eng := New("test",
+		Func("a", func(ctx context.Context, st *State) error {
+			order = append(order, "a")
+			st.Put("x", 1)
+			return nil
+		}),
+		Func("b", func(ctx context.Context, st *State) error {
+			order = append(order, "b")
+			v, ok := st.Get("x")
+			if !ok || v.(int) != 1 {
+				t.Errorf("state not threaded: %v %v", v, ok)
+			}
+			return nil
+		}),
+	)
+	rep, err := eng.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := strings.Join(order, ","); got != "a,b" {
+		t.Fatalf("order = %q, want a,b", got)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(rep.Stages))
+	}
+	for _, m := range rep.Stages {
+		if m.Status != StatusOK {
+			t.Errorf("stage %s status %q, want ok", m.Name, m.Status)
+		}
+		if m.WallMS < 0 {
+			t.Errorf("stage %s negative wall time", m.Name)
+		}
+	}
+	if rep.Pipeline != "test" || rep.Error != "" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+}
+
+func TestEngineSkipsAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	ran := false
+	eng := New("test",
+		Func("ok", func(ctx context.Context, st *State) error { return nil }),
+		Func("fail", func(ctx context.Context, st *State) error { return boom }),
+		Func("after", func(ctx context.Context, st *State) error { ran = true; return nil }),
+	)
+	rep, err := eng.Run(context.Background(), nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran {
+		t.Fatal("stage after failure ran")
+	}
+	want := map[string]string{"ok": StatusOK, "fail": StatusFailed, "after": StatusSkipped}
+	for name, status := range want {
+		m := rep.Stage(name)
+		if m == nil || m.Status != status {
+			t.Errorf("stage %s = %+v, want status %s", name, m, status)
+		}
+	}
+	if rep.Stage("fail").ErrorClass != "internal" {
+		t.Errorf("fail class = %q, want internal", rep.Stage("fail").ErrorClass)
+	}
+	if rep.Error != "boom" {
+		t.Errorf("report error = %q", rep.Error)
+	}
+}
+
+func TestEnginePreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	eng := New("test", Func("a", func(ctx context.Context, st *State) error { ran = true; return nil }))
+	rep, err := eng.Run(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if ran {
+		t.Fatal("stage ran under cancelled context")
+	}
+	if m := rep.Stage("a"); m == nil || m.Status != StatusSkipped {
+		t.Fatalf("stage a = %+v, want skipped", m)
+	}
+}
+
+func TestMeterRecordsWorkload(t *testing.T) {
+	eng := New("test", Func("work", func(ctx context.Context, st *State) error {
+		m := Meter(ctx)
+		m.RecordsIn = 100
+		m.RecordsOut = 40
+		m.QuarantinedHours = 2
+		return nil
+	}))
+	rep, err := eng.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Stage("work")
+	if m.RecordsIn != 100 || m.RecordsOut != 40 || m.QuarantinedHours != 2 {
+		t.Fatalf("metrics not recorded: %+v", m)
+	}
+}
+
+func TestMeterOutsideEngineIsDetached(t *testing.T) {
+	m := Meter(context.Background())
+	if m == nil {
+		t.Fatal("nil meter")
+	}
+	m.RecordsIn = 5 // must not panic; separate instances
+	if Meter(context.Background()).RecordsIn != 0 {
+		t.Fatal("detached meters share state")
+	}
+}
+
+func TestSequenceCompositeRegistersChildren(t *testing.T) {
+	eng := New("test", Sequence("outer",
+		Func("c1", func(ctx context.Context, st *State) error { return nil }),
+		Func("c2", func(ctx context.Context, st *State) error { return nil }),
+	))
+	rep, err := eng.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, m := range rep.Stages {
+		names = append(names, m.Name)
+	}
+	if got := strings.Join(names, ","); got != "outer,c1,c2" {
+		t.Fatalf("stages = %q, want outer,c1,c2", got)
+	}
+}
+
+func TestParallelRunsAllAndCancelsOnFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var sawCancel atomic.Bool
+	eng := New("test", Parallel("par",
+		Func("fails", func(ctx context.Context, st *State) error { return boom }),
+		Func("waits", func(ctx context.Context, st *State) error {
+			select {
+			case <-ctx.Done():
+				sawCancel.Store(true)
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return errors.New("sibling cancellation never arrived")
+			}
+		}),
+	))
+	rep, err := eng.Run(context.Background(), nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !sawCancel.Load() {
+		t.Fatal("sibling did not observe cancellation")
+	}
+	// Child rows are pre-registered in declaration order.
+	var names []string
+	for _, m := range rep.Stages {
+		names = append(names, m.Name)
+	}
+	if got := strings.Join(names, ","); got != "par,fails,waits" {
+		t.Fatalf("stages = %q, want par,fails,waits", got)
+	}
+	if rep.Stage("waits").ErrorClass != "canceled" {
+		t.Errorf("waits class = %q, want canceled", rep.Stage("waits").ErrorClass)
+	}
+}
+
+type classedErr struct{}
+
+func (classedErr) Error() string      { return "bad frame" }
+func (classedErr) ErrorClass() string { return "corrupt" }
+
+func TestErrorClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{context.Canceled, "canceled"},
+		{context.DeadlineExceeded, "deadline"},
+		{fmt.Errorf("wrap: %w", os.ErrNotExist), "missing"},
+		{classedErr{}, "corrupt"},
+		{fmt.Errorf("wrap: %w", classedErr{}), "corrupt"},
+		{errors.New("plain"), "internal"},
+	}
+	for _, c := range cases {
+		if got := ErrorClass(c.err); got != c.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestStagePresetErrorClassPreserved(t *testing.T) {
+	eng := New("test", Func("a", func(ctx context.Context, st *State) error {
+		Meter(ctx).ErrorClass = "retryable"
+		return errors.New("ends early")
+	}))
+	rep, _ := eng.Run(context.Background(), nil)
+	if rep.Stage("a").ErrorClass != "retryable" {
+		t.Fatalf("class = %q, want retryable", rep.Stage("a").ErrorClass)
+	}
+}
+
+func TestRetryPolicy(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 3, BaseBackoff: 10 * time.Millisecond, Retryable: func(err error) bool {
+		return strings.Contains(err.Error(), "again")
+	}}
+	if d := p.Delay(1); d != 10*time.Millisecond {
+		t.Errorf("Delay(1) = %v", d)
+	}
+	if d := p.Delay(3); d != 40*time.Millisecond {
+		t.Errorf("Delay(3) = %v", d)
+	}
+	if p.ShouldRetry(errors.New("fatal"), 0) {
+		t.Error("non-retryable retried")
+	}
+	if !p.ShouldRetry(errors.New("try again"), 2) {
+		t.Error("retryable under budget not retried")
+	}
+	if p.ShouldRetry(errors.New("try again"), 3) {
+		t.Error("exhausted budget retried")
+	}
+	if p.ShouldRetry(context.Canceled, 0) {
+		t.Error("cancellation retried")
+	}
+	if !p.Exhausted(3) || p.Exhausted(2) {
+		t.Error("Exhausted wrong")
+	}
+}
+
+func TestRetryStageRetriesAndRecords(t *testing.T) {
+	again := errors.New("again")
+	attempts := 0
+	stage := Retry(Func("flaky", func(ctx context.Context, st *State) error {
+		attempts++
+		if attempts < 3 {
+			return again
+		}
+		return nil
+	}), RetryPolicy{MaxRetries: 5, BaseBackoff: time.Microsecond, Retryable: func(err error) bool { return errors.Is(err, again) }})
+	rep, err := New("test", stage).Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	m := rep.Stage("flaky")
+	if m.Retries != 2 || m.Status != StatusOK {
+		t.Fatalf("metrics = %+v, want 2 retries ok", m)
+	}
+}
+
+func TestRetryStageGivesUpOnPermanent(t *testing.T) {
+	boom := errors.New("permanent")
+	attempts := 0
+	stage := Retry(Func("flaky", func(ctx context.Context, st *State) error {
+		attempts++
+		return boom
+	}), RetryPolicy{MaxRetries: 5, BaseBackoff: time.Microsecond, Retryable: func(err error) bool { return false }})
+	_, err := New("test", stage).Run(context.Background(), nil)
+	if !errors.Is(err, boom) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}
+
+func TestSleepCancellable(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not wake on cancel")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	eng := New("roundtrip",
+		Func("ok", func(ctx context.Context, st *State) error {
+			Meter(ctx).RecordsIn = 7
+			return nil
+		}),
+		Func("fail", func(ctx context.Context, st *State) error { return context.Canceled }),
+	)
+	rep, _ := eng.Run(context.Background(), nil)
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Pipeline string          `json:"pipeline"`
+		Stages   []*StageMetrics `json:"stages"`
+		Error    string          `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Pipeline != "roundtrip" || len(decoded.Stages) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Stages[0].RecordsIn != 7 {
+		t.Fatalf("recordsIn lost: %+v", decoded.Stages[0])
+	}
+	if decoded.Stages[1].ErrorClass != "canceled" {
+		t.Fatalf("errorClass lost: %+v", decoded.Stages[1])
+	}
+	// omitempty: the ok stage's JSON must not carry zero workload fields.
+	if strings.Contains(buf.String(), `"retries":0`) {
+		t.Fatal("zero retries not omitted")
+	}
+}
+
+func TestEmitReport(t *testing.T) {
+	rep, _ := New("emit", Func("a", func(ctx context.Context, st *State) error { return nil })).Run(context.Background(), nil)
+
+	if err := EmitReport(rep, ""); err != nil {
+		t.Fatalf("empty path: %v", err)
+	}
+	if err := EmitReport(nil, "x.json"); err == nil {
+		t.Fatal("nil report with path should error")
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := EmitReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("file not valid JSON: %v", err)
+	}
+	if out.Pipeline != "emit" {
+		t.Fatalf("pipeline = %q", out.Pipeline)
+	}
+}

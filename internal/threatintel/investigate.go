@@ -1,6 +1,7 @@
 package threatintel
 
 import (
+	"context"
 	"sort"
 
 	"iotscope/internal/classify"
@@ -49,14 +50,19 @@ type Investigation struct {
 }
 
 // Investigate correlates the inferred devices against the repository.
-func Investigate(cfg InvestigateConfig, res *correlate.Result,
-	inv *devicedb.Inventory, repo *Repository) Investigation {
+// Cancellation is checked between explored devices; a cancelled run
+// returns ctx.Err() and a partial Investigation the caller must discard.
+func Investigate(ctx context.Context, cfg InvestigateConfig, res *correlate.Result,
+	inv *devicedb.Inventory, repo *Repository) (Investigation, error) {
 
 	explored := exploreSet(cfg, res, inv)
 	out := Investigation{Explored: len(explored)}
 
 	catCounts := make(map[Category]int)
 	for _, id := range explored {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		ds := res.Devices[id]
 		total := float64(ds.TotalPackets())
 		out.ExploredTotals = append(out.ExploredTotals, total)
@@ -96,7 +102,7 @@ func Investigate(cfg InvestigateConfig, res *correlate.Result,
 	})
 	sort.Float64s(out.ExploredTotals)
 	sort.Float64s(out.FlaggedTotals)
-	return out
+	return out, nil
 }
 
 // exploreSet picks every backscatter victim plus the loudest

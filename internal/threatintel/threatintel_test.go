@@ -2,6 +2,7 @@ package threatintel
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"sync"
@@ -115,7 +116,7 @@ func loadWorld(t *testing.T) (*wgen.Generator, *correlate.Result) {
 			worldErr = err
 			return
 		}
-		worldRes, worldErr = correlate.New(worldGen.Inventory(), correlate.Options{}).ProcessDataset(dir)
+		worldRes, worldErr = correlate.New(worldGen.Inventory(), correlate.Options{}).ProcessDataset(context.Background(), dir)
 	})
 	if worldErr != nil {
 		t.Fatal(worldErr)
@@ -212,7 +213,10 @@ func TestInvestigate(t *testing.T) {
 	}
 	cfg := DefaultInvestigateConfig()
 	cfg.TopPerCategory = 60
-	inv := Investigate(cfg, res, g.Inventory(), repo)
+	inv, err := Investigate(context.Background(), cfg, res, g.Inventory(), repo)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if inv.Explored == 0 {
 		t.Fatal("nothing explored")

@@ -1,0 +1,174 @@
+// Command ctxvet enforces the repository's context-hygiene rule: every
+// exported function or method that spawns a goroutine must accept a
+// context.Context, so callers can always cancel the concurrency they
+// started. The serving layer (internal/apiserve) is exempt — its handlers
+// receive per-request contexts from net/http — as are tests.
+//
+// Usage:
+//
+//	go run ./tools/ctxvet ./internal/... ./cmd/...
+//
+// Arguments are directory patterns; a trailing /... recurses. Exits
+// nonzero and lists offenders if any exported goroutine-spawning function
+// is missing a context.Context parameter.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./internal/...", "./cmd/..."}
+	}
+	var dirs []string
+	for _, pat := range args {
+		expanded, err := expand(pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctxvet:", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, expanded...)
+	}
+	bad := 0
+	for _, dir := range dirs {
+		offenders, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ctxvet:", err)
+			os.Exit(2)
+		}
+		for _, o := range offenders {
+			fmt.Fprintln(os.Stderr, o)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "ctxvet: %d exported function(s) spawn goroutines without taking context.Context\n", bad)
+		os.Exit(1)
+	}
+}
+
+// expand resolves a directory pattern; a trailing /... walks the tree.
+func expand(pat string) ([]string, error) {
+	if !strings.HasSuffix(pat, "/...") {
+		return []string{pat}, nil
+	}
+	root := strings.TrimSuffix(pat, "/...")
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// exempt reports whether the package directory is outside the rule: the
+// HTTP serving layer gets its contexts from net/http requests.
+func exempt(dir string) bool {
+	return filepath.Base(dir) == "apiserve"
+}
+
+// checkDir parses every non-test Go file in dir and reports exported
+// goroutine-spawning functions that lack a context.Context parameter.
+func checkDir(dir string) ([]string, error) {
+	if exempt(dir) {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var offenders []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !fn.Name.IsExported() {
+					continue
+				}
+				if !spawnsGoroutine(fn.Body) {
+					continue
+				}
+				if takesContext(fn.Type) {
+					continue
+				}
+				pos := fset.Position(fn.Pos())
+				offenders = append(offenders, fmt.Sprintf(
+					"%s: exported %s spawns a goroutine but takes no context.Context",
+					pos, funcName(fn)))
+			}
+		}
+	}
+	return offenders, nil
+}
+
+// spawnsGoroutine reports whether the body lexically contains a go
+// statement, including inside nested closures — a closure's goroutine
+// still runs on the exported function's behalf.
+func spawnsGoroutine(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// takesContext reports whether any parameter's type is context.Context.
+func takesContext(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if ok && ident.Name == "context" && sel.Sel.Name == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
