@@ -4,9 +4,11 @@ GO ?= go
 # worker-pool correlator, the incremental watcher, the HTTP server (and
 # its admission-control layer), the serving lifecycle binary, the staged
 # pipeline engine with its parallel composite, the cmd wiring that drives
-# it, and the atomic file writer raced against readers.
+# it, the atomic file writer raced against readers, and the result store
+# codec behind checkpoint/resume.
 RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
 	./internal/resilience ./internal/pipeline ./internal/core \
+	./internal/resultstore ./internal/faultfs \
 	./cmd/iotwatch ./cmd/iotserve ./cmd/iotinfer ./cmd/iotreport \
 	./cmd/iotnotify
 
@@ -31,9 +33,11 @@ vet:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Bounded local fuzz budget for the flowtuple reader (see FuzzReader).
+# Bounded local fuzz budget for the two binary decoders: the flowtuple
+# reader (FuzzReader) and the result store codec (FuzzResultStore).
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/flowtuple
+	$(GO) test -fuzz=FuzzResultStore -fuzztime=30s ./internal/resultstore
 
 # Serving chaos suite: signal-driven lifecycle (SIGHUP reload under load,
 # corrupt-dataset reload, SIGTERM drain) plus HTTP admission-control and
@@ -47,11 +51,12 @@ chaos:
 #   go run ./tools/bench2json -extract BENCH_<new>.json > new.txt
 #   benchstat old.txt new.txt
 BENCH_DATE ?= $(shell date +%F)
+BENCH_TAG ?= dev
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$' \
 		-benchmem -benchtime 2s -count 3 . \
-		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) > BENCH_$(BENCH_DATE).json
-	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE).json
+		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag $(BENCH_TAG) > BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
+	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
 
 # Every benchmark in the repo, text output only.
 benchall:

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -640,6 +641,64 @@ func BenchmarkIncrementalIngest(b *testing.B) {
 }
 
 var benchInc *correlate.Incremental
+
+// --- Snapshot result store (docs/SNAPSHOTS.md).
+
+// BenchmarkSnapshotSave measures persisting the analyzed correlation state
+// as a result store artifact — the iotinfer -save stage.
+func BenchmarkSnapshotSave(b *testing.B) {
+	_, res := benchFixture(b)
+	path := filepath.Join(b.TempDir(), "snapshot.irs")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.SaveSnapshot(path, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures restoring analyzed correlation state from
+// a result store artifact, validated against the dataset — the iotserve
+// -snapshot cold-start path. The acceptance gate is a ≥10x win over
+// BenchmarkSnapshotAnalyze, the re-analysis a valid store replaces.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	ds, res := benchFixture(b)
+	path := filepath.Join(b.TempDir(), "snapshot.irs")
+	if err := core.SaveSnapshot(path, res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := ds.OpenSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(loaded.Devices) != len(res.Correlate.Devices) {
+			b.Fatal("short load")
+		}
+	}
+}
+
+// BenchmarkSnapshotAnalyze is the baseline a valid store short-circuits
+// in core.LoadSnapshotOpts: verifying every raw hour file and re-deriving
+// the correlation state from them (the verify and correlate stages both
+// skip when a store loads).
+func BenchmarkSnapshotAnalyze(b *testing.B) {
+	ds, _ := benchFixture(b)
+	c := correlate.New(ds.Inventory, correlate.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ds.VerifyHours(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.ProcessDataset(context.Background(), ds.Dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkGenerateScale sweeps dataset synthesis throughput across scales
 // (records generated per rendered hour grow linearly with scale).

@@ -5,10 +5,14 @@
 // characterize → stat-tests → threat-intel → malware); -stage-report dumps
 // the per-stage metrics, and an interrupt cancels the run mid-stage.
 //
+// -save FILE additionally persists the analyzed correlation state as a
+// versioned result store artifact (internal/resultstore) once the analysis
+// succeeds; iotserve -snapshot serves straight from it without re-analyzing.
+//
 // Usage:
 //
 //	iotinfer -data DIR [-json] [-workers N] [-sketch] [-lenient]
-//	         [-stage-report FILE|-]
+//	         [-save store.irs] [-stage-report FILE|-]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -41,6 +45,7 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "concurrent hour files (0 = GOMAXPROCS)")
 		sketch      = fs.Bool("sketch", false, "use HyperLogLog destination counters")
 		lenient     = fs.Bool("lenient", false, "quarantine unreadable hours instead of failing")
+		save        = fs.String("save", "", "write the analyzed correlation state to this result store file")
 		stageReport = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
 		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf     = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -70,12 +75,22 @@ func run(args []string) error {
 	cfg.Workers = *workers
 	cfg.UseSketches = *sketch
 	cfg.Lenient = *lenient
-	res, rep, err := ds.AnalyzeStaged(ctx, cfg)
+	// The analysis pipeline, with the optional save-store stage appended so
+	// the artifact write is reported (and cancellable) like any other stage.
+	res := &core.Results{}
+	stages := ds.AnalysisStages(cfg, res)
+	if *save != "" {
+		stages = append(stages, core.SaveSnapshotStage(*save, res))
+	}
+	rep, err := pipeline.New("analyze", stages...).Run(ctx, nil)
 	if emitErr := pipeline.EmitReport(rep, *stageReport); emitErr != nil && err == nil {
 		err = emitErr
 	}
 	if err != nil {
 		return err
+	}
+	if *save != "" {
+		fmt.Fprintf(os.Stderr, "iotinfer: saved result store %s\n", *save)
 	}
 	if *asJSON {
 		out := map[string]any{

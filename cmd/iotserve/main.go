@@ -9,12 +9,19 @@
 //     in-flight requests finish (bounded by -drain), and a clean close
 //     exits 0.
 //   - SIGHUP hot-reloads the dataset: the load runs as a staged pipeline
-//     (open → verify → analyze, see core.LoadSnapshot) under the
-//     -reload-timeout deadline before an atomic swap; a bad or overrun
-//     reload keeps the old snapshot serving and marks health degraded.
-//     -reload-poll additionally watches the dataset directory mtime and
-//     reloads when it changes. The latest load's per-stage report is
-//     served at /v1/pipeline and written to -stage-report.
+//     (open → load-store → verify → analyze, see core.LoadSnapshotOpts)
+//     under the -reload-timeout deadline before an atomic swap; a bad or
+//     overrun reload keeps the old snapshot serving and marks health
+//     degraded. -reload-poll additionally watches the dataset directory
+//     mtime and reloads when it changes. The latest load's per-stage
+//     report is served at /v1/pipeline and written to -stage-report.
+//   - -snapshot FILE cold-starts from a result store artifact written by
+//     iotinfer -save, skipping verification and re-analysis. At boot a
+//     corrupt, truncated, or stale artifact falls back to raw analysis
+//     with the reason surfaced as degraded health; on hot reload the
+//     store is mandatory (a bad artifact keeps the old snapshot — a
+//     reload must never silently pay a full re-analysis). /healthz
+//     reports the provenance either way.
 //   - Admission control sheds load instead of collapsing: -max-inflight
 //     caps concurrency (503 + Retry-After), -rate/-burst rate-limit each
 //     token (429 + Retry-After), and -request-timeout propagates a
@@ -23,6 +30,7 @@
 // Usage:
 //
 //	iotserve -data DIR -token SECRET [-token SECRET2 ...] [-addr :8642]
+//	         [-snapshot store.irs]
 //	         [-max-inflight 256] [-rate 0] [-burst 0] [-request-timeout 30s]
 //	         [-drain 10s] [-reload-poll 0] [-reload-timeout 2m]
 //	         [-stage-report FILE|-]
@@ -84,6 +92,7 @@ func run(args []string) error {
 	var tokens tokenList
 	var (
 		data       = fs.String("data", "", "dataset directory (required)")
+		snapshot   = fs.String("snapshot", "", "result store artifact to serve from (written by iotinfer -save)")
 		addr       = fs.String("addr", ":8642", "listen address")
 		maxInFl    = fs.Int("max-inflight", 256, "max concurrent requests before shedding 503 (0 disables)")
 		rate       = fs.Float64("rate", 0, "per-token request rate limit in req/s (0 disables)")
@@ -106,12 +115,18 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintf(os.Stderr, "loading and verifying dataset %s ...\n", *data)
-	ds, res, loadRep, err := core.LoadSnapshot(context.Background(), *data)
+	// At boot a bad store falls back to raw analysis (RequireStore false):
+	// better to come up degraded than not at all.
+	ds, res, prov, loadRep, err := core.LoadSnapshotOpts(context.Background(), *data,
+		core.LoadOptions{Store: *snapshot})
 	if emitErr := pipeline.EmitReport(loadRep, *stageRep); emitErr != nil && err == nil {
 		err = emitErr
 	}
 	if err != nil {
 		return err
+	}
+	if prov.Fallback != "" {
+		fmt.Fprintf(os.Stderr, "iotserve: snapshot store unusable, analyzed raw hours instead: %s\n", prov.Fallback)
 	}
 
 	var opts []apiserve.Option
@@ -136,6 +151,7 @@ func run(args []string) error {
 		return err
 	}
 	api.SetLoadReport(loadRep)
+	api.SetProvenance(prov)
 
 	// Signals are registered before the listener exists so no signal can
 	// hit the default handler (process kill) once the address is
@@ -188,7 +204,7 @@ func run(args []string) error {
 
 		case sig := <-sigCh:
 			if sig == syscall.SIGHUP {
-				reload(api, *data, *reloadTO)
+				reload(api, *data, *snapshot, *reloadTO)
 				continue
 			}
 			// SIGINT/SIGTERM: drain in-flight requests, bounded.
@@ -211,25 +227,29 @@ func run(args []string) error {
 			if m := dirMtime(*data); m.After(lastMtime) {
 				lastMtime = m
 				fmt.Fprintf(os.Stderr, "iotserve: dataset dir changed, reloading ...\n")
-				reload(api, *data, *reloadTO)
+				reload(api, *data, *snapshot, *reloadTO)
 			}
 		}
 	}
 }
 
 // reload validates, analyzes, and swaps in the dataset at dir, running the
-// load pipeline under the reload deadline. On any failure — including the
-// deadline firing mid-stage — the current snapshot keeps serving and
-// health reports degraded. The per-stage report of the attempt (successful
-// or not) replaces the one served at /v1/pipeline.
-func reload(api *apiserve.Server, dir string, timeout time.Duration) {
+// load pipeline under the reload deadline. With a store configured the
+// reload is gated on it verifying (RequireStore): a corrupt or stale
+// artifact rejects the reload and the old snapshot keeps serving — a hot
+// reload must never fall back to a surprise full re-analysis inside the
+// deadline. On any failure the current snapshot keeps serving and health
+// reports degraded. The per-stage report of the attempt (successful or
+// not) replaces the one served at /v1/pipeline.
+func reload(api *apiserve.Server, dir, store string, timeout time.Duration) {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	ds, res, rep, err := core.LoadSnapshot(ctx, dir)
+	ds, res, prov, rep, err := core.LoadSnapshotOpts(ctx, dir,
+		core.LoadOptions{Store: store, RequireStore: store != ""})
 	api.SetLoadReport(rep)
 	if err != nil {
 		api.NoteReloadFailure(err)
@@ -242,7 +262,9 @@ func reload(api *apiserve.Server, dir string, timeout time.Duration) {
 		api.NoteReloadFailure(err)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "iotserve: snapshot gen %d live (%d devices)\n", gen, res.Summary.Total)
+	api.SetProvenance(prov)
+	fmt.Fprintf(os.Stderr, "iotserve: snapshot gen %d live (%d devices, source %s)\n",
+		gen, res.Summary.Total, prov.Source)
 }
 
 // dirMtime returns the dataset directory's modification time (zero on

@@ -1,0 +1,96 @@
+package main
+
+// Boot-path tests for -snapshot: serving straight from a result store
+// artifact, and surviving a corrupt one by falling back to raw analysis
+// with degraded health. They drive the real run() through the same
+// harness as the chaos tests.
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"iotscope/internal/core"
+	"iotscope/internal/faultfs"
+)
+
+// fixtureStore analyzes the shared fixture once per call and writes the
+// correlation state as a result store artifact (what iotinfer -save does).
+func fixtureStore(t *testing.T) (string, string) {
+	t.Helper()
+	dir := fixture(t)
+	ds, err := core.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Analyze(core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snapshot.irs")
+	if err := core.SaveSnapshot(path, res); err != nil {
+		t.Fatal(err)
+	}
+	return dir, path
+}
+
+// snapshotBlock fetches /healthz and returns (status, snapshot block).
+func snapshotBlock(t *testing.T, base string) (string, map[string]any) {
+	t.Helper()
+	code, body := getJSON(t, base+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz code %d: %v", code, body)
+	}
+	snap, ok := body["snapshot"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz without snapshot block: %v", body)
+	}
+	return body["status"].(string), snap
+}
+
+// A cold start from a valid store artifact serves without re-analysis and
+// says so: /healthz reports source "store" with the artifact path and
+// codec version, and the data endpoints serve normally.
+func TestSnapshotBootFromStore(t *testing.T) {
+	dir, store := fixtureStore(t)
+	base, done := startServer(t, dir, "-snapshot", store)
+
+	status, snap := snapshotBlock(t, base)
+	if status != "ok" {
+		t.Fatalf("status %q, want ok", status)
+	}
+	if snap["source"] != "store" || snap["store"] != store {
+		t.Fatalf("snapshot block %v, want store provenance for %s", snap, store)
+	}
+	if snap["codecVersion"].(float64) < 1 {
+		t.Fatalf("snapshot block lacks codec version: %v", snap)
+	}
+	if code, body := getJSON(t, base+"/v1/summary", chaosToken); code != http.StatusOK {
+		t.Fatalf("summary from store-loaded snapshot: %d %v", code, body)
+	}
+	shutdown(t, done)
+}
+
+// A corrupt store artifact must never keep the server down: it boots by
+// analyzing the raw hours, serves normally, and reports degraded health
+// with the fallback reason — operators see the broken artifact, clients
+// see no outage.
+func TestSnapshotBootCorruptStoreFallsBack(t *testing.T) {
+	dir, store := fixtureStore(t)
+	if err := faultfs.BitFlip(store, 40, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	base, done := startServer(t, dir, "-snapshot", store)
+
+	status, snap := snapshotBlock(t, base)
+	if status != "degraded" {
+		t.Fatalf("status %q, want degraded after store fallback", status)
+	}
+	if snap["source"] != "analyze" || snap["storeFallback"] == "" {
+		t.Fatalf("snapshot block %v, want analyze provenance with fallback reason", snap)
+	}
+	if code, _ := getJSON(t, base+"/v1/summary", chaosToken); code != http.StatusOK {
+		t.Fatalf("summary after store fallback: %d", code)
+	}
+	shutdown(t, done)
+}

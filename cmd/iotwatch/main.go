@@ -14,10 +14,18 @@
 // from the shared core pipeline config (Config.Lenient), so batch and
 // watch modes cannot drift.
 //
+// With -checkpoint-dir the watcher persists its incremental state as a
+// result store checkpoint (internal/resultstore) after every ingested or
+// quarantined hour, and resumes from it at startup: a killed watcher
+// restarts exactly where it stopped, re-reading nothing, and converges on
+// the same state an uninterrupted run would have reached. An unreadable or
+// mismatched checkpoint warns and cold-starts; a checkpoint write failure
+// warns and keeps watching.
+//
 // Usage:
 //
 //	iotwatch -data DIR [-poll 2s] [-once] [-alarm 8] [-retries 3] [-backoff 500ms]
-//	         [-stage-report FILE|-]
+//	         [-checkpoint-dir DIR] [-stage-report FILE|-]
 //
 // With -once the watcher ingests whatever is present (including retry
 // resolution) and exits (useful for scripting and tests); otherwise it
@@ -28,10 +36,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -41,6 +52,7 @@ import (
 	"iotscope/internal/devicedb"
 	"iotscope/internal/flowtuple"
 	"iotscope/internal/pipeline"
+	"iotscope/internal/resultstore"
 )
 
 func main() {
@@ -59,6 +71,7 @@ func run(args []string) error {
 		alarm       = fs.Float64("alarm", 8, "DoS alarm threshold (x median backscatter hour; 0 disables)")
 		retries     = fs.Int("retries", 3, "retry budget per truncated hour before quarantine")
 		backoff     = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
+		ckptDir     = fs.String("checkpoint-dir", "", "persist incremental state here after every hour and resume from it at startup")
 		stageReport = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,14 +89,15 @@ func run(args []string) error {
 	}
 	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
 	cfg.Lenient = true
-	inc, err := ds.NewIncremental(cfg)
+	inc, ckptPath, err := openIncremental(ds, cfg, *ckptDir)
 	if err != nil {
 		return err
 	}
 
 	w := &watcher{
 		dir: ds.Dir, inv: ds.Inventory, inc: inc,
-		alarm: *alarm,
+		alarm:    *alarm,
+		ckptPath: ckptPath,
 		policy: pipeline.RetryPolicy{
 			MaxRetries:  *retries,
 			BaseBackoff: *backoff,
@@ -92,6 +106,11 @@ func run(args []string) error {
 		ingested: make(map[int]bool),
 		attempts: make(map[int]int),
 		nextTry:  make(map[int]time.Time),
+	}
+	// A resumed watcher must not re-ingest hours the checkpoint already
+	// holds — re-ingestion would double-count and Incremental rejects it.
+	for _, h := range inc.IngestedHours() {
+		w.ingested[h] = true
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -107,12 +126,48 @@ func run(args []string) error {
 	return err
 }
 
+// checkpointFile is the artifact name inside -checkpoint-dir.
+const checkpointFile = "checkpoint.irs"
+
+// openIncremental builds the incremental correlator, resuming from a
+// checkpoint when one is configured and usable. Resume failures are never
+// fatal: an absent file is a first run, an unreadable or mismatched one
+// warns and cold-starts — the watch must come up either way.
+func openIncremental(ds *core.Dataset, cfg core.Config, dir string) (*correlate.Incremental, string, error) {
+	if dir == "" {
+		inc, err := ds.NewIncremental(cfg)
+		return inc, "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", err
+	}
+	path := filepath.Join(dir, checkpointFile)
+	cp, err := resultstore.ReadCheckpoint(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "iotwatch: checkpoint unusable, cold start: %v\n", err)
+		}
+		inc, err := ds.NewIncremental(cfg)
+		return inc, path, err
+	}
+	inc, err := ds.RestoreIncremental(cfg, cp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotwatch: checkpoint rejected, cold start: %v\n", err)
+		inc, err := ds.NewIncremental(cfg)
+		return inc, path, err
+	}
+	fmt.Fprintf(os.Stderr, "iotwatch: resumed from %s (%d hours ingested, %d quarantined)\n",
+		path, inc.HoursIngested(), inc.Stats().HoursQuarantined)
+	return inc, path, nil
+}
+
 type watcher struct {
-	dir    string
-	inv    *devicedb.Inventory
-	inc    *correlate.Incremental
-	alarm  float64
-	policy pipeline.RetryPolicy
+	dir      string
+	inv      *devicedb.Inventory
+	inc      *correlate.Incremental
+	alarm    float64
+	ckptPath string
+	policy   pipeline.RetryPolicy
 
 	ingested map[int]bool
 	attempts map[int]int
@@ -209,14 +264,30 @@ func (w *watcher) sweep(ctx context.Context) (int, error) {
 			w.inc.Quarantine(h, err)
 			delete(w.nextTry, h)
 			fmt.Printf("[hour %3d] QUARANTINED after %d attempts: %v\n", h, w.attempts[h]+1, err)
+			w.checkpoint()
 			continue
 		}
 		w.ingested[h] = true
 		delete(w.nextTry, h)
 		processed++
 		w.report(h, fresh)
+		w.checkpoint()
 	}
 	return processed, nil
+}
+
+// checkpoint persists the incremental state (atomic write, see
+// resultstore). The quarantine decision is checkpointed too: a resumed
+// watcher must not burn a fresh retry budget on an hour already given up
+// on. A write failure warns but never aborts the watch — losing a
+// checkpoint costs a re-ingest after a crash, aborting costs the watch.
+func (w *watcher) checkpoint() {
+	if w.ckptPath == "" {
+		return
+	}
+	if err := resultstore.WriteCheckpoint(w.ckptPath, w.inc.Export()); err != nil {
+		fmt.Fprintf(os.Stderr, "iotwatch: checkpoint write failed: %v\n", err)
+	}
 }
 
 // nextRetryWait returns how long until the earliest pending retry is due,

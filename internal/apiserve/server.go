@@ -56,6 +56,10 @@ type Server struct {
 	// loadRep is the latest snapshot load's per-stage pipeline report
 	// (successful or not), served read-only on /v1/pipeline.
 	loadRep atomic.Pointer[pipeline.Report]
+	// prov is the provenance of the currently served snapshot's analyzed
+	// state (result store vs raw analysis); nil when the caller never
+	// reported one.
+	prov atomic.Pointer[core.Provenance]
 
 	limiter *resilience.Limiter
 	rate    *resilience.RateLimiter
@@ -167,6 +171,14 @@ func (s *Server) SetLoadReport(rep *pipeline.Report) {
 	}
 }
 
+// SetProvenance publishes where the served snapshot's analyzed state came
+// from (result store artifact vs raw analysis). /healthz reports it inside
+// the snapshot block, and a recorded store fallback degrades health: the
+// server is up but not serving from the artifact it was told to.
+func (s *Server) SetProvenance(p core.Provenance) {
+	s.prov.Store(&p)
+}
+
 // handlePipeline serves the latest load's pipeline report — how long each
 // stage took and which one stopped a rejected reload.
 func (s *Server) handlePipeline(w http.ResponseWriter, _ *http.Request) {
@@ -268,14 +280,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if snap.res.Correlate.Ingest.HoursQuarantined > 0 {
 		status = "degraded"
 	}
+	snapshot := map[string]any{
+		"generation": snap.Generation,
+		"loadedAt":   snap.LoadedAt.UTC().Format(time.RFC3339),
+	}
+	if p := s.prov.Load(); p != nil {
+		snapshot["source"] = p.Source
+		if p.StorePath != "" {
+			snapshot["store"] = p.StorePath
+		}
+		if p.CodecVersion != 0 {
+			snapshot["codecVersion"] = p.CodecVersion
+		}
+		if p.Fallback != "" {
+			status = "degraded"
+			snapshot["storeFallback"] = p.Fallback
+		}
+	}
 	body := map[string]any{
-		"hours":  snap.ds.Scenario.Hours,
-		"scale":  snap.ds.Scenario.Scale,
-		"ingest": snap.res.Correlate.Ingest,
-		"snapshot": map[string]any{
-			"generation": snap.Generation,
-			"loadedAt":   snap.LoadedAt.UTC().Format(time.RFC3339),
-		},
+		"hours":    snap.ds.Scenario.Hours,
+		"scale":    snap.ds.Scenario.Scale,
+		"ingest":   snap.res.Correlate.Ingest,
+		"snapshot": snapshot,
 	}
 	if f := s.reloadFail.Load(); f != nil {
 		status = "degraded"

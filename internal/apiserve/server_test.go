@@ -368,3 +368,46 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// Provenance rides on the snapshot block of /healthz: a store-loaded
+// snapshot names its artifact and codec version, and a recorded store
+// fallback degrades health without taking the endpoint down.
+func TestHealthSnapshotProvenance(t *testing.T) {
+	loadServer(t)
+	s, err := New(srvDS, srvRes, []string{testToken})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No provenance reported: the snapshot block keeps its legacy shape.
+	_, body := get(t, s, "/healthz", "")
+	snap := body["snapshot"].(map[string]any)
+	if _, ok := snap["source"]; ok {
+		t.Fatalf("source reported without SetProvenance: %v", snap)
+	}
+
+	s.SetProvenance(core.Provenance{Source: "store", StorePath: "/data/snap.irs", CodecVersion: 1})
+	code, body := get(t, s, "/healthz", "")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("store provenance: %d %v", code, body)
+	}
+	snap = body["snapshot"].(map[string]any)
+	if snap["source"] != "store" || snap["store"] != "/data/snap.irs" || snap["codecVersion"].(float64) != 1 {
+		t.Fatalf("snapshot block = %v, want store provenance", snap)
+	}
+
+	// A fallback is a promise broken: the server runs, but not from the
+	// artifact it was configured with — health must say degraded.
+	s.SetProvenance(core.Provenance{Source: "analyze", Fallback: "store corrupt"})
+	code, body = get(t, s, "/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("degraded must still answer 200, got %d", code)
+	}
+	if body["status"] != "degraded" {
+		t.Fatalf("status = %v, want degraded on store fallback", body["status"])
+	}
+	snap = body["snapshot"].(map[string]any)
+	if snap["source"] != "analyze" || snap["storeFallback"] != "store corrupt" {
+		t.Fatalf("snapshot block = %v, want fallback provenance", snap)
+	}
+}

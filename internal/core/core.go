@@ -258,11 +258,14 @@ const (
 	StageMalware      = "malware"
 )
 
-// Stage names of the snapshot-load pipeline (see LoadSnapshot).
+// Stage names of the snapshot-load pipeline (see LoadSnapshot), plus the
+// store stages iotinfer -save and -snapshot loading add around it.
 const (
-	StageOpen   = "open"
-	StageVerify = "verify"
-	StageLoad   = "analyze"
+	StageOpen      = "open"
+	StageLoadStore = "load-store"
+	StageVerify    = "verify"
+	StageLoad      = "analyze"
+	StageSaveStore = "save-store"
 )
 
 // CorrelatorOptions derives the correlate.Options for this configuration —
@@ -307,26 +310,40 @@ func classifyIngestErr(m *pipeline.StageMetrics, err error) {
 // as they run. Every cmd and LoadSnapshot composes these same stages, so
 // there is exactly one wiring of the analysis path.
 func (ds *Dataset) AnalysisStages(cfg Config, out *Results) []pipeline.Stage {
+	return append([]pipeline.Stage{ds.correlateStage(cfg, out)}, ds.DownstreamStages(cfg, out)...)
+}
+
+// correlateStage is the inference stage proper: stream the dataset's hour
+// files through the correlator into out.Correlate.
+func (ds *Dataset) correlateStage(cfg Config, out *Results) pipeline.Stage {
+	return pipeline.Func(StageCorrelate, func(ctx context.Context, st *pipeline.State) error {
+		corr := correlate.New(ds.Inventory, cfg.CorrelatorOptions())
+		res, err := corr.ProcessDataset(ctx, ds.Dir)
+		if err != nil {
+			classifyIngestErr(pipeline.Meter(ctx), err)
+			return fmt.Errorf("core: correlate: %w", err)
+		}
+		m := pipeline.Meter(ctx)
+		var iot uint64
+		for i := range res.Hourly {
+			iot += res.Hourly[i].RecordsIoT
+		}
+		m.RecordsIn = res.Background.Records + iot
+		m.RecordsOut = uint64(len(res.Devices))
+		m.Retries = res.Ingest.HoursRetried
+		m.QuarantinedHours = res.Ingest.HoursQuarantined
+		out.Correlate = res
+		return nil
+	})
+}
+
+// DownstreamStages returns the analysis stages that consume an already
+// materialized correlation result (out.Correlate must be set before they
+// run) — characterize → stat-tests → threat-intel → malware. The
+// store-loading path composes these without the correlate stage: a loaded
+// snapshot replaces the inference, not the investigation.
+func (ds *Dataset) DownstreamStages(cfg Config, out *Results) []pipeline.Stage {
 	return []pipeline.Stage{
-		pipeline.Func(StageCorrelate, func(ctx context.Context, st *pipeline.State) error {
-			corr := correlate.New(ds.Inventory, cfg.CorrelatorOptions())
-			res, err := corr.ProcessDataset(ctx, ds.Dir)
-			if err != nil {
-				classifyIngestErr(pipeline.Meter(ctx), err)
-				return fmt.Errorf("core: correlate: %w", err)
-			}
-			m := pipeline.Meter(ctx)
-			var iot uint64
-			for i := range res.Hourly {
-				iot += res.Hourly[i].RecordsIoT
-			}
-			m.RecordsIn = res.Background.Records + iot
-			m.RecordsOut = uint64(len(res.Devices))
-			m.Retries = res.Ingest.HoursRetried
-			m.QuarantinedHours = res.Ingest.HoursQuarantined
-			out.Correlate = res
-			return nil
-		}),
 		pipeline.Func(StageCharacterize, func(ctx context.Context, st *pipeline.State) error {
 			an := analysis.New(out.Correlate, ds.Inventory, ds.Registry)
 			out.Analyzer = an

@@ -28,38 +28,14 @@ func (ds *Dataset) VerifyHours(ctx context.Context) error {
 
 // LoadSnapshot opens the dataset at dir, verifies every hour file, and
 // runs the full analysis with the dataset's own scale/seed configuration —
-// all as stages of a "load-snapshot" pipeline (open → verify → analyze,
-// the last expanding into the AnalysisStages). Nothing is returned unless
-// the whole dataset read cleanly and analyzed, so a caller can atomically
-// swap the pair in without ever serving a half-loaded world; iotserve runs
-// this under its reload deadline, and a deadline hit surfaces as
-// ctx.Err(). The report is returned even on failure and records which
-// stage stopped the load.
+// all as stages of a "load-snapshot" pipeline. It is the no-store
+// convenience form of LoadSnapshotOpts: nothing is returned unless the
+// whole dataset read cleanly and analyzed, so a caller can atomically swap
+// the pair in without ever serving a half-loaded world; iotserve runs this
+// under its reload deadline, and a deadline hit surfaces as ctx.Err(). The
+// report is returned even on failure and records which stage stopped the
+// load.
 func LoadSnapshot(ctx context.Context, dir string) (*Dataset, *Results, *pipeline.Report, error) {
-	var ds *Dataset
-	res := &Results{}
-	rep, err := pipeline.New("load-snapshot",
-		pipeline.Func(StageOpen, func(ctx context.Context, st *pipeline.State) error {
-			var err error
-			ds, err = Open(dir)
-			return err
-		}),
-		pipeline.Func(StageVerify, func(ctx context.Context, st *pipeline.State) error {
-			m := pipeline.Meter(ctx)
-			m.RecordsIn = uint64(ds.Scenario.Hours)
-			err := ds.VerifyHours(ctx)
-			classifyIngestErr(m, err)
-			return err
-		}),
-		// The analysis sequence is composed at run time: the dataset (and
-		// with it the stage closures) only exists once "open" has run.
-		pipeline.Func(StageLoad, func(ctx context.Context, st *pipeline.State) error {
-			cfg := DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
-			return pipeline.Sequence("analysis", ds.AnalysisStages(cfg, res)...).Run(ctx, st)
-		}),
-	).Run(ctx, nil)
-	if err != nil {
-		return nil, nil, rep, err
-	}
-	return ds, res, rep, nil
+	ds, res, _, rep, err := LoadSnapshotOpts(ctx, dir, LoadOptions{})
+	return ds, res, rep, err
 }

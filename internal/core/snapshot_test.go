@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"iotscope/internal/faultfs"
+	"iotscope/internal/pipeline"
+	"iotscope/internal/resultstore"
+)
+
+// saveE2ESnapshot persists the shared fixture's correlation state and
+// returns the store path.
+func saveE2ESnapshot(t *testing.T, res *Results) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snapshot.irs")
+	if err := SaveSnapshot(path, res); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A valid store short-circuits inference: the loaded pair is byte-identical
+// to the analyzed one, the verify and correlate stages are skipped/absent,
+// and provenance names the store.
+func TestLoadSnapshotFromStore(t *testing.T) {
+	ds, res := loadE2E(t)
+	store := saveE2ESnapshot(t, res)
+
+	ds2, res2, prov, rep, err := LoadSnapshotOpts(context.Background(), ds.Dir, LoadOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Source != "store" || prov.StorePath != store || prov.CodecVersion != resultstore.Version {
+		t.Fatalf("provenance = %+v, want store provenance", prov)
+	}
+	if prov.Fallback != "" {
+		t.Fatalf("unexpected fallback: %q", prov.Fallback)
+	}
+	if ds2.Scenario.Hours != ds.Scenario.Hours {
+		t.Fatalf("hours %d != %d", ds2.Scenario.Hours, ds.Scenario.Hours)
+	}
+	if !reflect.DeepEqual(res.Correlate, res2.Correlate) {
+		t.Fatal("store-loaded correlation differs from the analyzed original")
+	}
+	if res2.Summary.Total != res.Summary.Total {
+		t.Fatalf("summary diverged: %d != %d", res2.Summary.Total, res.Summary.Total)
+	}
+	if m := rep.Stage(StageLoadStore); m == nil || m.Status != pipeline.StatusOK {
+		t.Fatalf("load-store stage = %+v, want ok", m)
+	}
+	if m := rep.Stage(StageVerify); m == nil || m.Status != pipeline.StatusSkipped {
+		t.Fatalf("verify stage = %+v, want skipped", m)
+	}
+	if m := rep.Stage(StageCorrelate); m != nil {
+		t.Fatalf("correlate ran despite store load: %+v", m)
+	}
+	for _, name := range []string{StageCharacterize, StageStatTests, StageThreatIntel, StageMalware} {
+		if m := rep.Stage(name); m == nil || m.Status != pipeline.StatusOK {
+			t.Fatalf("stage %q = %+v, want ok", name, m)
+		}
+	}
+}
+
+// A corrupt store must never take the load down: it falls back to raw
+// analysis with the choice surfaced in provenance and the stage report.
+func TestLoadSnapshotStoreFallback(t *testing.T) {
+	ds, res := loadE2E(t)
+	store := saveE2ESnapshot(t, res)
+	if err := faultfs.BitFlip(store, 40, 0x20); err != nil {
+		t.Fatal(err)
+	}
+
+	_, res2, prov, rep, err := LoadSnapshotOpts(context.Background(), ds.Dir, LoadOptions{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Source != "analyze" || prov.Fallback == "" {
+		t.Fatalf("provenance = %+v, want analyze with fallback reason", prov)
+	}
+	if m := rep.Stage(StageLoadStore); m == nil || m.Status != pipeline.StatusSkipped {
+		t.Fatalf("load-store stage = %+v, want skipped", m)
+	} else if m.ErrorClass != "corrupt" {
+		t.Fatalf("load-store errorClass = %q, want corrupt", m.ErrorClass)
+	}
+	for _, name := range []string{StageVerify, StageCorrelate} {
+		if m := rep.Stage(name); m == nil || m.Status != pipeline.StatusOK {
+			t.Fatalf("stage %q = %+v, want ok (full analysis fallback)", name, m)
+		}
+	}
+	if !reflect.DeepEqual(res.Correlate, res2.Correlate) {
+		t.Fatal("fallback analysis diverged from original")
+	}
+}
+
+// RequireStore turns the fallback into a failure — the hot-reload
+// contract: a bad artifact keeps the old snapshot, it never triggers a
+// surprise full re-analysis inside the reload deadline.
+func TestLoadSnapshotRequireStore(t *testing.T) {
+	ds, res := loadE2E(t)
+	store := saveE2ESnapshot(t, res)
+	if err := faultfs.TruncateTail(store, 30); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, rep, err := LoadSnapshotOpts(context.Background(), ds.Dir,
+		LoadOptions{Store: store, RequireStore: true})
+	if err == nil {
+		t.Fatal("truncated store accepted under RequireStore")
+	}
+	if !errors.Is(err, resultstore.ErrTruncated) {
+		t.Fatalf("error %v does not wrap resultstore.ErrTruncated", err)
+	}
+	if m := rep.Stage(StageLoadStore); m == nil || m.Status != pipeline.StatusFailed {
+		t.Fatalf("load-store stage = %+v, want failed", m)
+	} else if m.ErrorClass != "retryable" {
+		t.Fatalf("load-store errorClass = %q, want retryable", m.ErrorClass)
+	}
+}
+
+// A store that decodes cleanly but belongs to a different world is stale,
+// and staleness is permanent.
+func TestOpenSnapshotStale(t *testing.T) {
+	ds, res := loadE2E(t)
+	store := saveE2ESnapshot(t, res)
+
+	other := *ds
+	other.Scenario.Hours = ds.Scenario.Hours + 1
+	_, err := other.OpenSnapshot(store)
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("hour-span mismatch error = %v, want ErrSnapshotMismatch", err)
+	}
+	if resultstore.IsRetryable(err) {
+		t.Fatal("stale snapshot classified retryable")
+	}
+	if got := storeErrClass(err); got != "stale" {
+		t.Fatalf("storeErrClass = %q, want stale", got)
+	}
+}

@@ -589,6 +589,46 @@ func (st *mergeState) fillLists(set *u64set, assign func(port uint16, devs []int
 	}
 }
 
+// newMergeStateFromResult rebuilds the merger's dense accumulation state
+// from a finalized Result — the restore half of incremental checkpointing.
+// The dense tables point at the Result's own aggregates (exactly as they
+// would after finalizeResult), so subsequent mergeDense calls mutate the
+// same objects an uninterrupted run would have.
+func newMergeStateFromResult(res *Result, invLen int) *mergeState {
+	st := newMergeState()
+	st.devByIdx = make([]*DeviceStats, invLen)
+	for id, d := range res.Devices {
+		st.devByIdx[id] = d
+	}
+	st.devCount = len(res.Devices)
+	st.udpByPort = make([]*PortAgg, 1<<16)
+	st.tcpByPort = make([]*TCPPortAgg, 1<<16)
+	for p, a := range res.UDPPorts {
+		st.udpByPort[p] = a
+		st.udpList = append(st.udpList, p)
+		for _, dev := range a.Devices {
+			st.udp.add(uint64(p)<<32 | uint64(uint32(dev)))
+		}
+	}
+	for p, a := range res.TCPScanPorts {
+		st.tcpByPort[p] = a
+		st.tcpList = append(st.tcpList, p)
+		for _, dev := range a.DevicesConsumer {
+			st.con.add(uint64(p)<<32 | uint64(uint32(dev)))
+		}
+		for _, dev := range a.DevicesCPS {
+			st.cps.add(uint64(p)<<32 | uint64(uint32(dev)))
+		}
+	}
+	for k, pkts := range res.TCPPortHour {
+		st.portHours = append(st.portHours, portHourPkts{key: k, pkts: pkts})
+	}
+	// The Result already carries the materialized views, so nothing is
+	// pending; the next merge flips unlisted and finalizeResult rebuilds.
+	st.unlisted = false
+	return st
+}
+
 // mergeDense folds a completed hour scratch into the global result. All
 // operations commute, so merge order (and thus worker scheduling) cannot
 // change the outcome. Only the merger goroutine calls this, so it needs no

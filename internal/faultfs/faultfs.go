@@ -37,6 +37,46 @@ func BitFlip(path string, offset int64, mask byte) error {
 	return rewrite(path, data)
 }
 
+// Overwrite replaces the bytes at offset with data, in place. Offsets are
+// resolved from the end of the file when negative. It models targeted
+// metadata damage — a mangled magic, version byte, or reserved field —
+// as opposed to BitFlip's random single-bit corruption.
+func Overwrite(path string, offset int64, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("faultfs: empty overwrite changes nothing")
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 {
+		offset += int64(len(buf))
+	}
+	if offset < 0 || offset+int64(len(data)) > int64(len(buf)) {
+		return fmt.Errorf("faultfs: overwrite [%d, %d) outside %s (%d bytes)",
+			offset, offset+int64(len(data)), path, len(buf))
+	}
+	copy(buf[offset:], data)
+	return rewrite(path, buf)
+}
+
+// AppendTail appends junk bytes after the file's logical end, modelling a
+// partial overwrite or a concatenated stray download.
+func AppendTail(path string, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("faultfs: empty append changes nothing")
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // TruncateTail drops the last n bytes of the file, modelling a copy or
 // write that stopped mid-stream.
 func TruncateTail(path string, n int64) error {

@@ -82,6 +82,15 @@ const (
 	StatusSkipped = "skipped"
 )
 
+// ErrSkipped, returned by a stage's Run, marks the stage skipped without
+// failing the pipeline: the engine records StatusSkipped and continues with
+// the next stage. A stage that decides at run time it has nothing to do
+// (e.g. a snapshot loader with no store configured, or a verify pass made
+// redundant by a loaded store) returns ErrSkipped — optionally wrapped with
+// context — and sets Meter(ctx).Note to say why, so the decision is
+// surfaced in the report rather than silently absorbed.
+var ErrSkipped = errors.New("pipeline: stage skipped")
+
 // StageMetrics is one stage's observability record. Stages fill the
 // workload fields through Meter; the engine fills timing and error fields.
 type StageMetrics struct {
@@ -104,6 +113,10 @@ type StageMetrics struct {
 	// domain knowledge, otherwise ErrorClass(err) fills it.
 	ErrorClass string `json:"errorClass,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// Note is free-form stage-set context — e.g. which artifact a loader
+	// chose, or why a stage skipped itself — surfaced verbatim in the
+	// report.
+	Note string `json:"note,omitempty"`
 }
 
 // Report is the JSON-serializable run record of one Engine.Run: one
@@ -223,6 +236,10 @@ func runStage(ctx context.Context, st *State, stage Stage, m *StageMetrics) erro
 	start := time.Now()
 	err := stage.Run(ctx, st)
 	m.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if errors.Is(err, ErrSkipped) {
+		m.Status = StatusSkipped
+		return nil
+	}
 	if err != nil {
 		m.Status = StatusFailed
 		m.Error = err.Error()

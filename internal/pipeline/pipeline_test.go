@@ -358,3 +358,39 @@ func TestEmitReport(t *testing.T) {
 		t.Fatalf("pipeline = %q", out.Pipeline)
 	}
 }
+
+func TestErrSkippedStage(t *testing.T) {
+	ran := false
+	eng := New("test",
+		Func("opt-out", func(ctx context.Context, st *State) error {
+			Meter(ctx).Note = "nothing to do"
+			return ErrSkipped
+		}),
+		Func("wrapped", func(ctx context.Context, st *State) error {
+			return fmt.Errorf("no store configured: %w", ErrSkipped)
+		}),
+		Func("after", func(ctx context.Context, st *State) error {
+			ran = true
+			return nil
+		}),
+	)
+	rep, err := eng.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("skipped stage failed the pipeline: %v", err)
+	}
+	if !ran {
+		t.Fatal("stage after a skip did not run")
+	}
+	for _, name := range []string{"opt-out", "wrapped"} {
+		m := rep.Stage(name)
+		if m == nil || m.Status != StatusSkipped {
+			t.Fatalf("stage %q = %+v, want skipped", name, m)
+		}
+		if m.Error != "" {
+			t.Fatalf("skipped stage %q recorded error %q", name, m.Error)
+		}
+	}
+	if rep.Stage("opt-out").Note != "nothing to do" {
+		t.Fatalf("note lost: %+v", rep.Stage("opt-out"))
+	}
+}

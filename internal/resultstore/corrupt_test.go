@@ -1,0 +1,168 @@
+package resultstore
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iotscope/internal/correlate"
+	"iotscope/internal/faultfs"
+)
+
+// The corruption table: every injected fault must land in the same
+// retryable-vs-permanent taxonomy flowtuple.Verify uses — a file that ends
+// early (possibly still being written) or does not exist yet is retryable,
+// structural damage is permanent — and ReadResult and Verify must classify
+// identically.
+func TestCorruptionTaxonomy(t *testing.T) {
+	dir, g := makeDataset(t, 71, 4)
+	c := correlate.New(g.Inventory(), correlate.Options{Workers: 2})
+	res, err := c.ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name          string
+		corrupt       func(path string, size int64) error
+		wantRetryable bool
+		wantNotExist  bool
+	}{
+		{
+			// The producer's write was cut mid-stream: the last section (or
+			// the footer) is missing its tail. Retryable — a non-atomic
+			// producer may still be appending.
+			name:          "truncated tail",
+			corrupt:       func(p string, size int64) error { return faultfs.TruncateTail(p, 30) },
+			wantRetryable: true,
+		},
+		{
+			name:          "truncated to header",
+			corrupt:       func(p string, size int64) error { return faultfs.TruncateTail(p, size-headerLen) },
+			wantRetryable: true,
+		},
+		{
+			name:          "truncated mid-header",
+			corrupt:       func(p string, size int64) error { return faultfs.TruncateTail(p, size-6) },
+			wantRetryable: true,
+		},
+		{
+			// A bit flip inside a section payload: the frame arrived whole
+			// but its CRC disagrees. Permanent.
+			name:          "bit flip in payload",
+			corrupt:       func(p string, size int64) error { return faultfs.BitFlip(p, headerLen+9+3, 0x40) },
+			wantRetryable: false,
+		},
+		{
+			// A bit flip in the footer digest. Permanent.
+			name:          "bit flip in footer digest",
+			corrupt:       func(p string, size int64) error { return faultfs.BitFlip(p, -2, 0x01) },
+			wantRetryable: false,
+		},
+		{
+			name:          "mangled magic",
+			corrupt:       func(p string, size int64) error { return faultfs.Overwrite(p, 0, []byte("JUNK")) },
+			wantRetryable: false,
+		},
+		{
+			// A future codec version: well-formed but unreadable by this
+			// build. Permanent — waiting will not teach us the format.
+			name:          "version from the future",
+			corrupt:       func(p string, size int64) error { return faultfs.Overwrite(p, 4, []byte{0x7f}) },
+			wantRetryable: false,
+		},
+		{
+			name:          "mangled kind",
+			corrupt:       func(p string, size int64) error { return faultfs.Overwrite(p, 5, []byte{0x09}) },
+			wantRetryable: false,
+		},
+		{
+			name:          "reserved header bits set",
+			corrupt:       func(p string, size int64) error { return faultfs.Overwrite(p, 6, []byte{0x01}) },
+			wantRetryable: false,
+		},
+		{
+			name:          "trailing junk after footer",
+			corrupt:       func(p string, size int64) error { return faultfs.AppendTail(p, []byte{0xde, 0xad}) },
+			wantRetryable: false,
+		},
+		{
+			name:          "missing file",
+			corrupt:       func(p string, size int64) error { return os.Remove(p) },
+			wantRetryable: true,
+			wantNotExist:  true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "result.irs")
+			if err := WriteResult(path, res); err != nil {
+				t.Fatal(err)
+			}
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.corrupt(path, info.Size()); err != nil {
+				t.Fatal(err)
+			}
+			_, readErr := ReadResult(path)
+			_, verifyErr := Verify(path)
+			for _, err := range []error{readErr, verifyErr} {
+				if err == nil {
+					t.Fatal("corrupt store accepted")
+				}
+				if got := IsRetryable(err); got != tc.wantRetryable {
+					t.Fatalf("IsRetryable = %v, want %v (err: %v)", got, tc.wantRetryable, err)
+				}
+				if tc.wantNotExist {
+					if !errors.Is(err, fs.ErrNotExist) {
+						t.Fatalf("want fs.ErrNotExist, got %v", err)
+					}
+					continue
+				}
+				if !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("error does not wrap ErrBadFormat: %v", err)
+				}
+				if got := errors.Is(err, ErrTruncated); got != tc.wantRetryable {
+					t.Fatalf("ErrTruncated = %v, want %v (err: %v)", got, tc.wantRetryable, err)
+				}
+			}
+		})
+	}
+}
+
+// Every single-byte truncation point of a valid store must be rejected as
+// retryable truncation or permanent damage — never accepted, never an
+// unclassified error, never a panic.
+func TestTruncationSweep(t *testing.T) {
+	dir, g := makeDataset(t, 72, 2)
+	c := correlate.New(g.Inventory(), correlate.Options{Workers: 1})
+	res, err := c.ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "result.irs")
+	if err := WriteResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep a byte-granular sample of prefixes (every 97th keeps the test
+	// fast while still crossing every kind of boundary in a small file).
+	for n := 0; n < len(data); n += 97 {
+		_, _, _, err := decode(data[:n], KindResult)
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", n, len(data))
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("prefix %d: unclassified error %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,758 @@
+// Package resultstore persists analyzed correlation state as a versioned,
+// CRC-guarded binary artifact — the durable form of a correlate.Result
+// (snapshot) or a correlate.CheckpointExport (incremental checkpoint).
+//
+// The format mirrors the flowtuple hour-file discipline: a magic/version
+// header, per-section framing with independent CRC32 guards, a footer that
+// commits the section count and a digest over the section checksums, and
+// atomic `.tmp`+rename writes so a reader never observes a half-written
+// store. The fault taxonomy mirrors flowtuple's too: ErrTruncated (the file
+// ends early — possibly still being written, retryable) wraps ErrBadFormat
+// (structural corruption, permanent), and fs.ErrNotExist passes through,
+// so one IsRetryable covers the producer-not-done-yet cases.
+//
+// File layout (all integers little-endian):
+//
+//	header   "IRST" | version u8 | kind u8 | reserved u16=0 | hours u32 | reserved u32=0
+//	section  tag u8 | payloadLen u32 | crc32(payload) u32 | payload
+//	footer   tag 0 | sectionCount u32 | crc32(concatenated section CRCs) u32
+//
+// followed by mandatory EOF. Unknown tags, duplicate sections, CRC or
+// count mismatches, reserved bits set, and trailing bytes are all
+// ErrBadFormat; a clean end-of-data inside a frame is ErrTruncated.
+package resultstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+
+	"iotscope/internal/classify"
+	"iotscope/internal/correlate"
+)
+
+const (
+	magic = "IRST"
+	// Version is the current codec version. Readers reject anything newer;
+	// older versions would be migrated here when the format evolves.
+	Version = 1
+)
+
+// Kind distinguishes the two artifact flavors sharing the container.
+type Kind uint8
+
+const (
+	// KindResult is a finalized batch snapshot (iotinfer -save).
+	KindResult Kind = 1
+	// KindCheckpoint is a resumable incremental state (iotwatch).
+	KindCheckpoint Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindResult:
+		return "result"
+	case KindCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ErrBadFormat indicates a corrupt, truncated, or foreign store file.
+var ErrBadFormat = errors.New("resultstore: bad store format")
+
+// ErrTruncated indicates a file that ends before its footer: intact as far
+// as it goes but incomplete — against a non-atomic producer, the signature
+// of a store still being written. It wraps ErrBadFormat, so
+// errors.Is(err, ErrBadFormat) still holds.
+var ErrTruncated = fmt.Errorf("resultstore: truncated: %w", ErrBadFormat)
+
+// IsRetryable reports whether a load failure may resolve on its own: the
+// store ends early (a producer may still be writing it) or does not exist
+// yet. Structural corruption is permanent.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, fs.ErrNotExist)
+}
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("resultstore: "+format+": %w", append(args, ErrBadFormat)...)
+}
+
+// Section tags.
+const (
+	secFooter     = 0
+	secMeta       = 1
+	secHourly     = 2
+	secDevices    = 3
+	secUDP        = 4
+	secTCP        = 5
+	secPortHour   = 6
+	secFaults     = 7
+	secCheckpoint = 8
+)
+
+const headerLen = 4 + 1 + 1 + 2 + 4 + 4
+
+// Info summarizes a verified store file.
+type Info struct {
+	Kind     Kind
+	Version  int
+	Hours    int
+	Sections int
+	Size     int64
+}
+
+// WriteResult encodes the finalized Result as a KindResult store at path,
+// atomically (written to path+".tmp", synced, then renamed).
+func WriteResult(path string, res *correlate.Result) error {
+	if res == nil {
+		return errors.New("resultstore: nil result")
+	}
+	return writeAtomic(path, encode(KindResult, res.Export(), nil))
+}
+
+// ReadResult decodes a KindResult store and rebuilds the live Result.
+// Every guard is checked before anything is returned; a failure is
+// classified by the package taxonomy (ErrTruncated retryable,
+// ErrBadFormat permanent, fs.ErrNotExist passed through).
+func ReadResult(path string) (*correlate.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	re, _, _, err := decode(data, KindResult)
+	if err != nil {
+		return nil, err
+	}
+	res, err := re.Result()
+	if err != nil {
+		return nil, badf("invalid result payload: %v", err)
+	}
+	return res, nil
+}
+
+// WriteCheckpoint encodes an incremental checkpoint as a KindCheckpoint
+// store at path, atomically.
+func WriteCheckpoint(path string, cp *correlate.CheckpointExport) error {
+	if cp == nil || cp.Result == nil {
+		return errors.New("resultstore: nil checkpoint")
+	}
+	return writeAtomic(path, encode(KindCheckpoint, cp.Result, cp))
+}
+
+// ReadCheckpoint decodes a KindCheckpoint store. The returned export is
+// structurally sound at the codec level; semantic restoration (inventory
+// bounds, sketch precision) happens in Correlator.RestoreIncremental.
+func ReadCheckpoint(path string) (*correlate.CheckpointExport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	_, cp, _, err := decode(data, KindCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// Verify replays the whole store — header, every section CRC, footer count
+// and digest, full payload parse — without building a live Result, and
+// returns its summary. This is the gate a server runs before committing to
+// a snapshot swap.
+func Verify(path string) (Info, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Info{}, err
+	}
+	_, _, info, err := decode(data, 0)
+	return info, err
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ---- encoding ----
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) raw(p []byte) { e.b = append(e.b, p...) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+
+func encode(kind Kind, re *correlate.ResultExport, cp *correlate.CheckpointExport) []byte {
+	var out enc
+	out.raw([]byte(magic))
+	out.u8(Version)
+	out.u8(uint8(kind))
+	out.u16(0)
+	out.u32(uint32(re.Hours))
+	out.u32(0)
+
+	var crcs []byte
+	sections := 0
+	section := func(tag uint8, fill func(p *enc)) {
+		var p enc
+		fill(&p)
+		sum := crc32.ChecksumIEEE(p.b)
+		out.u8(tag)
+		out.u32(uint32(len(p.b)))
+		out.u32(sum)
+		out.raw(p.b)
+		crcs = binary.LittleEndian.AppendUint32(crcs, sum)
+		sections++
+	}
+
+	section(secMeta, func(p *enc) {
+		p.u32(uint32(re.Hours))
+		p.u8(uint8(classify.NumClasses))
+		p.u64(re.Background.Records)
+		p.u64(re.Background.Packets)
+		p.u64(re.Background.Sources)
+		p.u32(uint32(re.IngestOK))
+		p.u32(uint32(re.IngestRetried))
+		p.u32(uint32(re.IngestQuarantined))
+	})
+	section(secHourly, func(p *enc) {
+		p.u32(uint32(len(re.Hourly)))
+		for i := range re.Hourly {
+			h := &re.Hourly[i]
+			p.u32(uint32(h.Hour))
+			p.u64(h.RecordsIoT)
+			for ci := range h.PerCat {
+				c := &h.PerCat[ci]
+				for _, v := range c.Packets {
+					p.u64(v)
+				}
+				p.u32(uint32(c.ActiveDevices))
+				p.u64(c.UDPDstIPs)
+				p.u64(c.UDPDstPorts)
+				p.u32(uint32(c.UDPDevices))
+				p.u64(c.ScanDstIPs)
+				p.u64(c.ScanDstPorts)
+				p.u32(uint32(c.ScanDevices))
+			}
+		}
+	})
+	section(secDevices, func(p *enc) {
+		p.u32(uint32(len(re.Devices)))
+		for i := range re.Devices {
+			d := &re.Devices[i]
+			p.u32(uint32(d.ID))
+			p.u32(uint32(d.FirstSeen))
+			p.u64(d.Records)
+			for _, v := range d.Packets {
+				p.u64(v)
+			}
+			p.u64(d.DayMask)
+			p.u32(uint32(d.MaxScanPorts))
+			p.u32(uint32(d.MaxScanPortsHour))
+			p.u32(uint32(d.MaxScanDests))
+			p.u32(uint32(len(d.Backscatter)))
+			for _, hc := range d.Backscatter {
+				p.u32(uint32(hc.Hour))
+				p.u64(hc.Count)
+			}
+		}
+	})
+	section(secUDP, func(p *enc) {
+		p.u32(uint32(len(re.UDPPorts)))
+		for i := range re.UDPPorts {
+			a := &re.UDPPorts[i]
+			p.u16(a.Port)
+			p.u64(a.Packets)
+			p.u32(uint32(len(a.Devices)))
+			for _, id := range a.Devices {
+				p.u32(uint32(id))
+			}
+		}
+	})
+	section(secTCP, func(p *enc) {
+		p.u32(uint32(len(re.TCPScanPorts)))
+		for i := range re.TCPScanPorts {
+			a := &re.TCPScanPorts[i]
+			p.u16(a.Port)
+			p.u64(a.Packets)
+			p.u64(a.PacketsConsumer)
+			p.u32(uint32(len(a.DevicesConsumer)))
+			for _, id := range a.DevicesConsumer {
+				p.u32(uint32(id))
+			}
+			p.u32(uint32(len(a.DevicesCPS)))
+			for _, id := range a.DevicesCPS {
+				p.u32(uint32(id))
+			}
+		}
+	})
+	section(secPortHour, func(p *enc) {
+		p.u32(uint32(len(re.TCPPortHour)))
+		for _, ph := range re.TCPPortHour {
+			p.u16(ph.Port)
+			p.u16(ph.Hour)
+			p.u64(ph.Packets)
+		}
+	})
+	section(secFaults, func(p *enc) {
+		p.u32(uint32(len(re.Faults)))
+		for i := range re.Faults {
+			f := &re.Faults[i]
+			p.u32(uint32(f.Hour))
+			p.u32(uint32(f.Attempts))
+			var flags uint8
+			if f.Retryable {
+				flags |= 1
+			}
+			if f.Truncated {
+				flags |= 2
+			}
+			if f.BadFormat {
+				flags |= 4
+			}
+			if f.NotExist {
+				flags |= 8
+			}
+			p.u8(flags)
+			p.str(f.Message)
+		}
+	})
+	if kind == KindCheckpoint {
+		section(secCheckpoint, func(p *enc) {
+			p.u32(uint32(cp.MaxHours))
+			p.u32(uint32(len(cp.IngestedHours)))
+			for _, h := range cp.IngestedHours {
+				p.u32(uint32(h))
+			}
+			p.u32(uint32(len(cp.QuarantinedHours)))
+			for _, h := range cp.QuarantinedHours {
+				p.u32(uint32(h))
+			}
+			p.u8(cp.BGPrecision)
+			p.u32(uint32(len(cp.BGRegisters)))
+			p.raw(cp.BGRegisters)
+		})
+	}
+
+	out.u8(secFooter)
+	out.u32(uint32(sections))
+	out.u32(crc32.ChecksumIEEE(crcs))
+	return out.b
+}
+
+// ---- decoding ----
+
+// errShort marks an out-of-data read inside a CRC-validated section; since
+// the payload arrived whole, underflow there is structural, not truncation.
+var errShort = errors.New("short section")
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.err = errShort
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) bytes(n int) []byte {
+	if !d.need(n) {
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+// finish validates that the section was consumed exactly.
+func (d *dec) finish(what string) error {
+	if d.err != nil {
+		return badf("%s section underflows", what)
+	}
+	if d.off != len(d.b) {
+		return badf("%s section has %d leftover bytes", what, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// decode parses and fully validates a store image. wantKind 0 accepts any
+// kind (Verify); otherwise a kind mismatch is ErrBadFormat — asking a
+// result loader to swallow a checkpoint is a caller wiring error, never a
+// retry candidate.
+func decode(data []byte, wantKind Kind) (*correlate.ResultExport, *correlate.CheckpointExport, Info, error) {
+	var info Info
+	info.Size = int64(len(data))
+	if len(data) < len(magic) {
+		return nil, nil, info, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, nil, info, badf("bad magic %q", data[:len(magic)])
+	}
+	if len(data) < headerLen {
+		return nil, nil, info, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	version := data[4]
+	kind := Kind(data[5])
+	if version == 0 || int(version) > Version {
+		return nil, nil, info, badf("unsupported version %d", version)
+	}
+	if kind != KindResult && kind != KindCheckpoint {
+		return nil, nil, info, badf("unknown kind %d", uint8(kind))
+	}
+	if binary.LittleEndian.Uint16(data[6:]) != 0 || binary.LittleEndian.Uint32(data[12:]) != 0 {
+		return nil, nil, info, badf("reserved header bits set")
+	}
+	hours := binary.LittleEndian.Uint32(data[8:])
+	if hours == 0 {
+		return nil, nil, info, badf("zero hours")
+	}
+	info.Kind = kind
+	info.Version = int(version)
+	info.Hours = int(hours)
+	if wantKind != 0 && kind != wantKind {
+		return nil, nil, info, badf("store is a %s, want %s", kind, wantKind)
+	}
+
+	// Walk the frames.
+	payloads := map[uint8][]byte{}
+	var crcs []byte
+	off := headerLen
+	sawFooter := false
+	for !sawFooter {
+		if off >= len(data) {
+			return nil, nil, info, fmt.Errorf("%w: missing footer", ErrTruncated)
+		}
+		tag := data[off]
+		off++
+		if tag == secFooter {
+			if len(data)-off < 8 {
+				return nil, nil, info, fmt.Errorf("%w: short footer", ErrTruncated)
+			}
+			count := binary.LittleEndian.Uint32(data[off:])
+			digest := binary.LittleEndian.Uint32(data[off+4:])
+			off += 8
+			if int(count) != len(payloads) {
+				return nil, nil, info, badf("footer counts %d sections, read %d", count, len(payloads))
+			}
+			if digest != crc32.ChecksumIEEE(crcs) {
+				return nil, nil, info, badf("footer digest mismatch")
+			}
+			if off != len(data) {
+				return nil, nil, info, badf("%d trailing bytes after footer", len(data)-off)
+			}
+			sawFooter = true
+			continue
+		}
+		maxTag := uint8(secFaults)
+		if kind == KindCheckpoint {
+			maxTag = secCheckpoint
+		}
+		if tag > maxTag {
+			return nil, nil, info, badf("unknown section tag %d", tag)
+		}
+		if _, dup := payloads[tag]; dup {
+			return nil, nil, info, badf("duplicate section tag %d", tag)
+		}
+		if len(data)-off < 8 {
+			return nil, nil, info, fmt.Errorf("%w: short section header", ErrTruncated)
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		off += 8
+		if len(data)-off < int(plen) {
+			return nil, nil, info, fmt.Errorf("%w: section %d body cut short", ErrTruncated, tag)
+		}
+		payload := data[off : off+int(plen)]
+		off += int(plen)
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, nil, info, badf("section %d checksum mismatch", tag)
+		}
+		payloads[tag] = payload
+		crcs = binary.LittleEndian.AppendUint32(crcs, sum)
+	}
+	info.Sections = len(payloads)
+
+	required := []uint8{secMeta, secHourly, secDevices, secUDP, secTCP, secPortHour, secFaults}
+	if kind == KindCheckpoint {
+		required = append(required, secCheckpoint)
+	}
+	for _, tag := range required {
+		if _, ok := payloads[tag]; !ok {
+			return nil, nil, info, badf("missing section %d", tag)
+		}
+	}
+
+	re, err := parseResultSections(payloads, int(hours))
+	if err != nil {
+		return nil, nil, info, err
+	}
+	if kind == KindResult {
+		return re, nil, info, nil
+	}
+	cp, err := parseCheckpoint(payloads[secCheckpoint], int(hours))
+	if err != nil {
+		return nil, nil, info, err
+	}
+	cp.Result = re
+	return re, cp, info, nil
+}
+
+func parseResultSections(payloads map[uint8][]byte, hours int) (*correlate.ResultExport, error) {
+	re := &correlate.ResultExport{Hours: hours}
+
+	d := &dec{b: payloads[secMeta]}
+	if int(d.u32()) != hours {
+		if d.err == nil {
+			return nil, badf("meta hours disagree with header")
+		}
+	}
+	numClasses := int(d.u8())
+	re.Background.Records = d.u64()
+	re.Background.Packets = d.u64()
+	re.Background.Sources = d.u64()
+	re.IngestOK = int(d.u32())
+	re.IngestRetried = int(d.u32())
+	re.IngestQuarantined = int(d.u32())
+	if err := d.finish("meta"); err != nil {
+		return nil, err
+	}
+	if numClasses != classify.NumClasses {
+		return nil, badf("store built with %d traffic classes, this build has %d",
+			numClasses, classify.NumClasses)
+	}
+
+	d = &dec{b: payloads[secHourly]}
+	n := int(d.u32())
+	if n != hours {
+		return nil, badf("hourly section counts %d rows, header says %d", n, hours)
+	}
+	re.Hourly = make([]correlate.HourStats, 0, min(n, 1<<16))
+	for i := 0; i < n && d.err == nil; i++ {
+		var h correlate.HourStats
+		h.Hour = int(d.u32())
+		h.RecordsIoT = d.u64()
+		for ci := range h.PerCat {
+			c := &h.PerCat[ci]
+			for k := range c.Packets {
+				c.Packets[k] = d.u64()
+			}
+			c.ActiveDevices = int(d.u32())
+			c.UDPDstIPs = d.u64()
+			c.UDPDstPorts = d.u64()
+			c.UDPDevices = int(d.u32())
+			c.ScanDstIPs = d.u64()
+			c.ScanDstPorts = d.u64()
+			c.ScanDevices = int(d.u32())
+		}
+		re.Hourly = append(re.Hourly, h)
+	}
+	if err := d.finish("hourly"); err != nil {
+		return nil, err
+	}
+
+	d = &dec{b: payloads[secDevices]}
+	n = int(d.u32())
+	re.Devices = make([]correlate.DeviceExport, 0, min(n, 1<<16))
+	for i := 0; i < n && d.err == nil; i++ {
+		var de correlate.DeviceExport
+		de.ID = int32(d.u32())
+		de.FirstSeen = int32(d.u32())
+		de.Records = d.u64()
+		for k := range de.Packets {
+			de.Packets[k] = d.u64()
+		}
+		de.DayMask = d.u64()
+		de.MaxScanPorts = int32(d.u32())
+		de.MaxScanPortsHour = int32(d.u32())
+		de.MaxScanDests = int32(d.u32())
+		bn := int(d.u32())
+		for j := 0; j < bn && d.err == nil; j++ {
+			de.Backscatter = append(de.Backscatter, correlate.HourCount{
+				Hour:  int32(d.u32()),
+				Count: d.u64(),
+			})
+		}
+		re.Devices = append(re.Devices, de)
+	}
+	if err := d.finish("devices"); err != nil {
+		return nil, err
+	}
+
+	d = &dec{b: payloads[secUDP]}
+	n = int(d.u32())
+	re.UDPPorts = make([]correlate.PortExport, 0, min(n, 1<<16))
+	for i := 0; i < n && d.err == nil; i++ {
+		var pe correlate.PortExport
+		pe.Port = d.u16()
+		pe.Packets = d.u64()
+		pe.Devices = readDeviceList(d)
+		re.UDPPorts = append(re.UDPPorts, pe)
+	}
+	if err := d.finish("udp"); err != nil {
+		return nil, err
+	}
+
+	d = &dec{b: payloads[secTCP]}
+	n = int(d.u32())
+	re.TCPScanPorts = make([]correlate.TCPPortExport, 0, min(n, 1<<16))
+	for i := 0; i < n && d.err == nil; i++ {
+		var pe correlate.TCPPortExport
+		pe.Port = d.u16()
+		pe.Packets = d.u64()
+		pe.PacketsConsumer = d.u64()
+		pe.DevicesConsumer = readDeviceList(d)
+		pe.DevicesCPS = readDeviceList(d)
+		re.TCPScanPorts = append(re.TCPScanPorts, pe)
+	}
+	if err := d.finish("tcp"); err != nil {
+		return nil, err
+	}
+
+	d = &dec{b: payloads[secPortHour]}
+	n = int(d.u32())
+	re.TCPPortHour = make([]correlate.PortHourExport, 0, min(n, 1<<16))
+	for i := 0; i < n && d.err == nil; i++ {
+		re.TCPPortHour = append(re.TCPPortHour, correlate.PortHourExport{
+			Port:    d.u16(),
+			Hour:    d.u16(),
+			Packets: d.u64(),
+		})
+	}
+	if err := d.finish("port-hour"); err != nil {
+		return nil, err
+	}
+
+	d = &dec{b: payloads[secFaults]}
+	n = int(d.u32())
+	for i := 0; i < n && d.err == nil; i++ {
+		var fe correlate.FaultExport
+		fe.Hour = int32(d.u32())
+		fe.Attempts = int32(d.u32())
+		flags := d.u8()
+		fe.Retryable = flags&1 != 0
+		fe.Truncated = flags&2 != 0
+		fe.BadFormat = flags&4 != 0
+		fe.NotExist = flags&8 != 0
+		if flags&^uint8(15) != 0 {
+			return nil, badf("fault %d has unknown flag bits %#x", i, flags)
+		}
+		ml := int(d.u32())
+		fe.Message = string(d.bytes(ml))
+		re.Faults = append(re.Faults, fe)
+	}
+	if err := d.finish("faults"); err != nil {
+		return nil, err
+	}
+	return re, nil
+}
+
+func readDeviceList(d *dec) []int32 {
+	n := int(d.u32())
+	if n == 0 || !d.need(n*4) {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}
+
+func parseCheckpoint(payload []byte, hours int) (*correlate.CheckpointExport, error) {
+	d := &dec{b: payload}
+	cp := &correlate.CheckpointExport{MaxHours: int(d.u32())}
+	if d.err == nil && cp.MaxHours != hours {
+		return nil, badf("checkpoint spans %d hours, header says %d", cp.MaxHours, hours)
+	}
+	cp.IngestedHours = readHourList(d)
+	cp.QuarantinedHours = readHourList(d)
+	cp.BGPrecision = d.u8()
+	rn := int(d.u32())
+	cp.BGRegisters = append([]uint8(nil), d.bytes(rn)...)
+	if err := d.finish("checkpoint"); err != nil {
+		return nil, err
+	}
+	if cp.BGPrecision < 4 || cp.BGPrecision > 18 || rn != 1<<cp.BGPrecision {
+		return nil, badf("checkpoint sketch precision %d with %d registers", cp.BGPrecision, rn)
+	}
+	return cp, nil
+}
+
+func readHourList(d *dec) []int32 {
+	n := int(d.u32())
+	if n == 0 || !d.need(n*4) {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}

@@ -88,6 +88,31 @@ func (h *HLL) Reset() {
 	}
 }
 
+// Precision returns the sketch's configured precision.
+func (h *HLL) Precision() int { return int(h.precision) }
+
+// AppendRegisters appends a copy of the register array to dst and returns
+// it — the export half of checkpointing a running estimator. Together with
+// Precision it captures the sketch's complete state.
+func (h *HLL) AppendRegisters(dst []uint8) []uint8 {
+	return append(dst, h.registers...)
+}
+
+// RestoreHLL rebuilds an estimator from a (precision, registers) pair
+// previously captured with Precision/AppendRegisters. The register slice is
+// copied, and its length must match 2^precision exactly.
+func RestoreHLL(precision int, registers []uint8) (*HLL, error) {
+	h, err := NewHLL(precision)
+	if err != nil {
+		return nil, err
+	}
+	if len(registers) != len(h.registers) {
+		return nil, errors.New("sketch: register count does not match precision")
+	}
+	copy(h.registers, registers)
+	return h, nil
+}
+
 func alphaM(m int) float64 {
 	switch m {
 	case 16:

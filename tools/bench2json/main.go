@@ -1,10 +1,14 @@
 // Command bench2json converts `go test -bench` text output into a small
-// JSON document suitable for committing alongside the code it measured
-// (BENCH_<date>.json). The raw benchmark text is embedded verbatim so a
-// committed file can be fed straight back into benchstat:
+// JSON document suitable for committing alongside the code it measured.
+// Committed artifacts follow the BENCH_<date>-<tag>.json naming convention
+// (see docs/PERFORMANCE.md); -tag stamps the tag into the document, and
+// the git commit and Go toolchain version are embedded automatically so a
+// number can always be traced to the tree that produced it. The raw
+// benchmark text is embedded verbatim so a committed file can be fed
+// straight back into benchstat:
 //
-//	go test -bench ... | go run ./tools/bench2json -date 2026-08-06 > BENCH_2026-08-06.json
-//	go run ./tools/bench2json -extract BENCH_2026-08-06.json > old.txt
+//	go test -bench ... | go run ./tools/bench2json -date 2026-08-06 -tag pr5 > BENCH_2026-08-06-pr5.json
+//	go run ./tools/bench2json -extract BENCH_2026-08-06-pr5.json > old.txt
 //	benchstat old.txt new.txt
 package main
 
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,7 +43,15 @@ type Bench struct {
 
 // Report is the committed document.
 type Report struct {
-	Date       string            `json:"date"`
+	Date string `json:"date"`
+	// Tag labels the run (e.g. "pr5", "baseline") and names the artifact:
+	// BENCH_<date>-<tag>.json.
+	Tag string `json:"tag,omitempty"`
+	// Commit is the git commit hash of the measured tree (best effort:
+	// empty outside a git checkout).
+	Commit string `json:"commit,omitempty"`
+	// GoVersion is the toolchain that ran the benchmarks.
+	GoVersion  string            `json:"goVersion,omitempty"`
 	Goos       string            `json:"goos,omitempty"`
 	Goarch     string            `json:"goarch,omitempty"`
 	Pkg        string            `json:"pkg,omitempty"`
@@ -46,8 +60,29 @@ type Report struct {
 	Raw        string            `json:"raw"`
 }
 
+// gitCommit reports the current checkout's short commit hash, with a
+// "-dirty" suffix when the work tree has uncommitted changes. Best effort:
+// empty when git or a repository is unavailable — a missing commit must
+// never fail the conversion.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if commit == "" {
+		return ""
+	}
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
+
 func main() {
 	date := flag.String("date", "", "date stamp for the report (YYYY-MM-DD)")
+	tag := flag.String("tag", "", "run label, names the artifact BENCH_<date>-<tag>.json")
 	extract := flag.String("extract", "", "read a bench2json file and print its raw text (for benchstat)")
 	flag.Parse()
 
@@ -63,6 +98,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench2json:", err)
 		os.Exit(1)
 	}
+	rep.Tag = *tag
+	rep.Commit = gitCommit()
+	rep.GoVersion = runtime.Version()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -67,5 +69,35 @@ func TestParseBenchLine(t *testing.T) {
 	}
 	if _, _, ok := parseBenchLine("BenchmarkNoNs 10 banana ns"); ok {
 		t.Fatal("line without ns/op accepted")
+	}
+}
+
+// The tag/commit/go-version stamps ride on the document, not the parse:
+// parse leaves them empty and main fills them in. gitCommit is best effort
+// and must never fail the conversion.
+func TestStampFields(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample), "2026-08-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tag != "" || rep.Commit != "" || rep.GoVersion != "" {
+		t.Fatalf("parse must not stamp run metadata: %+v", rep)
+	}
+	rep.Tag = "pr5"
+	rep.Commit = gitCommit()
+	rep.GoVersion = runtime.Version()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tag != "pr5" || back.GoVersion != runtime.Version() {
+		t.Fatalf("stamps lost across JSON round trip: %+v", back)
+	}
+	if back.Commit != rep.Commit {
+		t.Fatalf("commit lost: %q != %q", back.Commit, rep.Commit)
 	}
 }
