@@ -4,11 +4,13 @@ GO ?= go
 # worker-pool correlator, the incremental watcher, the HTTP server (and
 # its admission-control layer), the serving lifecycle binary, the staged
 # pipeline engine with its parallel composite, the cmd wiring that drives
-# it, the atomic file writer raced against readers, and the result store
-# codec behind checkpoint/resume.
+# it, the atomic file writer raced against readers, the result store
+# codec behind checkpoint/resume, and the notification pipeline (outbound
+# queue drain, contact resolver shared across stages).
 RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
 	./internal/resilience ./internal/pipeline ./internal/core \
 	./internal/resultstore ./internal/faultfs \
+	./internal/outqueue ./internal/abusecontact \
 	./cmd/iotwatch ./cmd/iotserve ./cmd/iotinfer ./cmd/iotreport \
 	./cmd/iotnotify
 
@@ -33,11 +35,16 @@ vet:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Bounded local fuzz budget for the two binary decoders: the flowtuple
-# reader (FuzzReader) and the result store codec (FuzzResultStore).
+# Bounded local fuzz budget for the binary decoders and the resolution
+# chain: the flowtuple reader, the result store codec, the outbound-queue
+# segment codec, the contact-resolver fault matrix, and the registry's
+# prefix-lookup boundaries.
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/flowtuple
 	$(GO) test -fuzz=FuzzResultStore -fuzztime=30s ./internal/resultstore
+	$(GO) test -fuzz=FuzzOutQueue -fuzztime=30s ./internal/outqueue
+	$(GO) test -fuzz=FuzzResolve -fuzztime=15s ./internal/abusecontact
+	$(GO) test -fuzz=FuzzLookup -fuzztime=15s ./internal/geo
 
 # Serving chaos suite: signal-driven lifecycle (SIGHUP reload under load,
 # corrupt-dataset reload, SIGTERM drain) plus HTTP admission-control and

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"iotscope/internal/core"
+	"iotscope/internal/outqueue"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -15,6 +20,15 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-data", t.TempDir()}); err == nil {
 		t.Fatal("empty dataset accepted")
+	}
+	if err := run([]string{"-data", "x", "-rate", "-1"}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := run([]string{"-data", "x", "-drain"}); err == nil {
+		t.Fatal("-drain without -queue-dir accepted")
+	}
+	if err := run([]string{"-drain", "-queue-dir", t.TempDir() + "/q"}); err != nil {
+		t.Fatalf("drain-only mode rejected: %v", err)
 	}
 }
 
@@ -45,5 +59,116 @@ func TestRunRendersBundles(t *testing.T) {
 	}
 	if err := run([]string{"-data", dir, "-min-devices", "1000000"}); err != nil {
 		t.Fatalf("-min-devices beyond device count: %v", err)
+	}
+
+	// PR 4's flag parity: -lenient is accepted like every other tool.
+	if err := run([]string{"-data", dir, "-lenient", "-top", "1"}); err != nil {
+		t.Fatalf("-lenient: %v", err)
+	}
+}
+
+// The acceptance-criteria scenario, in process: enqueue, "kill" (abandon
+// the queue object with no shutdown), restart with the same -queue-dir,
+// re-run the full pipeline, drain — the delivery log holds every
+// notification exactly once and the rerun's complaints are all suppressed.
+func TestEnqueueKillRestartDrainExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	cfg := core.DefaultConfig(0.002, 11)
+	cfg.Hours = 4
+	if _, err := core.Generate(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	queueDir := filepath.Join(t.TempDir(), "queue")
+	sinkPath := filepath.Join(t.TempDir(), "delivered.txt")
+
+	// First run: analysis + enqueue, no drain. The process "dies" after run
+	// returns — nothing closes the queue; its durability is segment-based.
+	if err := run([]string{"-data", dir, "-queue-dir", queueDir}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := outqueue.Open(queueDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueued := q.Stats().Pending
+	if enqueued == 0 {
+		t.Fatal("first run enqueued nothing")
+	}
+
+	// Restart: same dataset, same queue. Every complaint is a repeat inside
+	// its operator's suppression window; nothing new becomes pending.
+	if err := run([]string{"-data", dir, "-queue-dir", queueDir}); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := outqueue.Open(queueDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Stats(); got.Pending != enqueued {
+		t.Fatalf("rerun changed pending %d -> %d (dedup broken)", enqueued, got.Pending)
+	}
+	if got := q2.Stats(); got.Suppressed == 0 {
+		t.Fatal("rerun suppressed nothing")
+	}
+
+	// Drain-only restart (no -data): deliver everything to the file sink.
+	if err := run([]string{"-drain", "-queue-dir", queueDir, "-sink", sinkPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Drain again — idempotent; and drain after re-enqueueing the same world.
+	if err := run([]string{"-drain", "-queue-dir", queueDir, "-sink", sinkPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "-queue-dir", queueDir, "-drain", "-sink", sinkPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(sinkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := outqueue.Open(queueDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := q3.Stats()
+	if st.Pending != 0 || st.Sent != enqueued {
+		t.Fatalf("final queue state %+v, want %d sent", st, enqueued)
+	}
+	for _, it := range q3.Items() {
+		if it.State != outqueue.StateSent {
+			continue
+		}
+		marker := fmt.Sprintf("=== end report id=%d\n", it.ID)
+		if got := bytes.Count(data, []byte(marker)); got != 1 {
+			t.Fatalf("item %d delivered %d times", it.ID, got)
+		}
+	}
+}
+
+// A drain cut short by rate limiting plus cancellation leaves the queue
+// resumable: stdout-sink drain with -rate caps throughput but still
+// delivers everything when allowed to finish.
+func TestDrainRateFlag(t *testing.T) {
+	queueDir := filepath.Join(t.TempDir(), "queue")
+	q, err := outqueue.Open(queueDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Enqueue(
+		outqueue.Notification{DedupKey: "as1", Contact: "a@b", Subject: "s", Body: "b", EventHour: 0},
+		outqueue.Notification{DedupKey: "as2", Contact: "a@b", Subject: "s", Body: "b", EventHour: 0},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-drain", "-queue-dir", queueDir, "-rate", "200", "-sink", "-"}); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := outqueue.Open(queueDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := q2.Stats(); st.Pending != 0 || st.Sent != 2 {
+		t.Fatalf("rated drain left %+v", st)
 	}
 }

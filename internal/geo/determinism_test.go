@@ -1,0 +1,187 @@
+package geo_test
+
+import (
+	"reflect"
+	"testing"
+
+	"iotscope/internal/abusecontact"
+	"iotscope/internal/geo"
+	"iotscope/internal/netx"
+)
+
+func buildTwice(t *testing.T, seed uint64) (*geo.Registry, *geo.Registry) {
+	t.Helper()
+	cfg := geo.Config{
+		DarkPrefix:        netx.MustParsePrefix("44.0.0.0/8"),
+		FillerCountries:   8,
+		ISPsPerCountryMin: 2,
+		ISPsPerCountryMax: 4,
+		PrefixBits:        16,
+		PrefixesPerISP:    2,
+	}
+	a, err := geo.Build(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := geo.Build(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// Same seed → identical ISP and prefix allocation across two independent
+// builds, and identical derived abuse-contact resolution for every
+// operator. The notification pipeline leans on this: a contact resolved at
+// enqueue time must be the contact a restarted process would resolve.
+func TestRegistryAndContactDeterminism(t *testing.T) {
+	a, b := buildTwice(t, 99)
+	if !reflect.DeepEqual(a.ISPs, b.ISPs) {
+		t.Fatal("ISP allocation diverged across identical builds")
+	}
+	if !reflect.DeepEqual(a.Countries, b.Countries) {
+		t.Fatal("country set diverged across identical builds")
+	}
+	for i := range a.ISPs {
+		if !reflect.DeepEqual(a.Prefixes(i), b.Prefixes(i)) {
+			t.Fatalf("ISP %d prefix allocation diverged: %v vs %v",
+				i, a.Prefixes(i), b.Prefixes(i))
+		}
+	}
+
+	ra := abusecontact.NewResolver(abusecontact.Derive(a, 99))
+	rb := abusecontact.NewResolver(abusecontact.Derive(b, 99))
+	for i := range a.ISPs {
+		ca, errA := ra.Resolve(i)
+		cb, errB := rb.Resolve(i)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("ISP %d resolution outcome diverged: %v vs %v", i, errA, errB)
+		}
+		if ca != cb {
+			t.Fatalf("ISP %d contact diverged: %+v vs %+v", i, ca, cb)
+		}
+	}
+
+	// A different seed reallocates.
+	c, err := geo.Build(geo.Config{
+		DarkPrefix:        netx.MustParsePrefix("44.0.0.0/8"),
+		FillerCountries:   8,
+		ISPsPerCountryMin: 2,
+		ISPsPerCountryMax: 4,
+		PrefixBits:        16,
+		PrefixesPerISP:    2,
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.ISPs) == len(a.ISPs)
+	if same {
+		for i := range a.ISPs {
+			if !reflect.DeepEqual(a.Prefixes(i), c.Prefixes(i)) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seed produced an identical allocation")
+	}
+}
+
+// Prefix-boundary exactness: the first and last address of every allocated
+// block resolve to its owner, and the addresses one step outside either
+// resolve to a different owner or to nothing.
+func TestLookupPrefixBoundaries(t *testing.T) {
+	g, _ := buildTwice(t, 31)
+	for i := range g.ISPs {
+		for _, p := range g.Prefixes(i) {
+			first := p.Nth(0)
+			last := p.Nth(p.NumAddrs() - 1)
+			for _, a := range []netx.Addr{first, last} {
+				info, ok := g.Lookup(a)
+				if !ok || info.ISP != i {
+					t.Fatalf("addr %v inside %v resolves to %+v (ok=%v), want ISP %d",
+						a, p, info, ok, i)
+				}
+			}
+			if before := first - 1; before < first {
+				if info, ok := g.Lookup(before); ok && info.ISP == i && !contains(g.Prefixes(i), before) {
+					t.Fatalf("addr %v before %v leaked into ISP %d", before, p, i)
+				}
+			}
+			if after := last + 1; after > last {
+				if info, ok := g.Lookup(after); ok && info.ISP == i && !contains(g.Prefixes(i), after) {
+					t.Fatalf("addr %v after %v leaked into ISP %d", after, p, i)
+				}
+			}
+		}
+	}
+}
+
+func contains(ps []netx.Prefix, a netx.Addr) bool {
+	for _, p := range ps {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzLookup drives arbitrary addresses through the registry trie: every
+// hit must be consistent with the ISP's allocated prefixes, hits must agree
+// across two identically seeded builds, and the dark prefix never resolves.
+func FuzzLookup(f *testing.F) {
+	cfg := geo.Config{
+		DarkPrefix:        netx.MustParsePrefix("44.0.0.0/8"),
+		FillerCountries:   4,
+		ISPsPerCountryMin: 1,
+		ISPsPerCountryMax: 3,
+		PrefixBits:        16,
+		PrefixesPerISP:    2,
+	}
+	a, err := geo.Build(cfg, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := geo.Build(cfg, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with prefix boundaries — the off-by-one surface of a trie.
+	for i := 0; i < len(a.ISPs) && i < 4; i++ {
+		for _, p := range a.Prefixes(i) {
+			f.Add(uint32(p.Nth(0)))
+			f.Add(uint32(p.Nth(p.NumAddrs() - 1)))
+			f.Add(uint32(p.Nth(0)) - 1)
+			f.Add(uint32(p.Nth(p.NumAddrs()-1)) + 1)
+		}
+	}
+	f.Add(uint32(0))
+	f.Add(uint32(0x2c000001)) // inside the 44/8 darknet
+
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		addr := netx.Addr(raw)
+		infoA, okA := a.Lookup(addr)
+		infoB, okB := b.Lookup(addr)
+		if okA != okB || (okA && infoA != infoB) {
+			t.Fatalf("lookup %v diverged across identical builds", addr)
+		}
+		if !okA {
+			return
+		}
+		if infoA.ISP < 0 || infoA.ISP >= len(a.ISPs) {
+			t.Fatalf("lookup %v returned ISP %d of %d", addr, infoA.ISP, len(a.ISPs))
+		}
+		if !contains(a.Prefixes(infoA.ISP), addr) {
+			t.Fatalf("lookup %v claims ISP %d, but no allocated prefix contains it",
+				addr, infoA.ISP)
+		}
+		if a.ISPs[infoA.ISP].Country != infoA.Country {
+			t.Fatalf("lookup %v country %q contradicts ISP record %q",
+				addr, infoA.Country, a.ISPs[infoA.ISP].Country)
+		}
+		if cfg.DarkPrefix.Contains(addr) {
+			t.Fatalf("dark address %v resolved to an operator", addr)
+		}
+	})
+}

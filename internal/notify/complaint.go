@@ -1,0 +1,94 @@
+package notify
+
+import (
+	"fmt"
+	"strings"
+	"text/template"
+)
+
+// ComplaintMeta carries the delivery-side context a rendered complaint
+// embeds: where it is going, how the contact was found, and the suppression
+// window the recipient is told about.
+type ComplaintMeta struct {
+	// Contact is the resolved abuse mailbox.
+	Contact string
+	// Tier names the resolution tier the contact came from
+	// ("registry", "asn", "country").
+	Tier string
+	// WindowHours is the suppression window now in force for this operator:
+	// the complaint tells the recipient when the next report can arrive.
+	WindowHours int
+	// Repeat marks a follow-up report (the operator was notified before).
+	Repeat bool
+}
+
+// Complaint is one rendered abuse complaint ready to enqueue.
+type Complaint struct {
+	Subject string
+	Body    string
+}
+
+// complaintTmpl is the abuse-complaint body. The window language follows
+// the escalating-ban wording production abuse desks use: the first report
+// opens a 24-hour window, and every further report doubles it.
+var complaintTmpl = template.Must(template.New("complaint").Funcs(template.FuncMap{
+	"join":  strings.Join,
+	"ports": joinPorts,
+}).Parse(`Dear abuse team of {{.B.ISP}} (AS{{.B.ASN}}, {{.B.Country}}),
+
+{{if .M.Repeat}}this is a follow-up report: devices in your address space previously
+reported to you continue to emit malicious traffic.{{else}}our network telescope observed malicious traffic originating from
+IoT devices inside your address space.{{end}} During the capture window the
+{{len .B.Devices}} device(s) listed below sent {{.B.Packets}} unsolicited packets
+({{.B.Records}} flows) toward unused (dark) address space.
+
+{{range .B.Devices}}* {{.IP}} — {{.Category}}/{{.Type}}{{if .Services}} ({{join .Services ", "}}){{end}}
+  first seen hour {{.FirstSeen}}, active {{.ActiveDays}} day(s), {{.Packets}} packets in {{.Records}} flows
+  behaviours: {{join .Behaviours ", "}}
+{{- if .UDPPorts}}
+  udp ports probed: {{ports .UDPPorts}}{{end}}
+{{- if .TCPPorts}}
+  tcp ports scanned: {{ports .TCPPorts}}{{end}}
+{{- if .ThreatFlags}}
+  corroborated by threat intelligence: {{join .ThreatFlags ", "}}{{end}}
+{{- if .MalwareFamilies}}
+  malware families contacting this host: {{join .MalwareFamilies ", "}}{{end}}
+{{- if .MalwareHashes}}
+  sandbox samples: {{join .MalwareHashes ", "}}{{end}}
+{{end}}
+Please investigate and remediate (credential reset / firmware update /
+isolation). {{if .M.Repeat}}Because this is a repeat report, the reporting
+window has doubled: you{{else}}You{{end}} will not receive another report about these
+devices for {{.M.WindowHours}} hours unless their behaviour changes.
+
+This report was addressed via the {{.M.Tier}} contact record for your
+network. If {{.M.Contact}} is not the right mailbox, please update your
+published abuse contact.
+`))
+
+// joinPorts renders a port list compactly.
+func joinPorts(ports []uint16) string {
+	parts := make([]string, len(ports))
+	for i, p := range ports {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RenderComplaint renders the bundle as a deliverable complaint.
+func RenderComplaint(b Bundle, meta ComplaintMeta) (Complaint, error) {
+	var sb strings.Builder
+	err := complaintTmpl.Execute(&sb, struct {
+		B Bundle
+		M ComplaintMeta
+	}{b, meta})
+	if err != nil {
+		return Complaint{}, fmt.Errorf("notify: render complaint: %w", err)
+	}
+	subject := fmt.Sprintf("[abuse] %d compromised IoT device(s) in AS%d (%s)",
+		len(b.Devices), b.ASN, b.ISP)
+	if meta.Repeat {
+		subject = "[repeat] " + subject
+	}
+	return Complaint{Subject: subject, Body: sb.String()}, nil
+}

@@ -3,11 +3,17 @@
 // IoT-tailored notifications of such exploitations, thus permitting rapid
 // remediation"): per-ISP abuse bundles listing each operator's compromised
 // devices, their observed behaviours, and the intel that corroborates them.
+//
+// Bundle construction is strictly filter-then-aggregate: the noise floor
+// (MinPackets) is applied to each device before anything is counted, so an
+// operator's Packets total never includes traffic from devices the report
+// does not name.
 package notify
 
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -15,21 +21,39 @@ import (
 	"iotscope/internal/correlate"
 	"iotscope/internal/devicedb"
 	"iotscope/internal/geo"
+	"iotscope/internal/malwaredb"
+	"iotscope/internal/netx"
 	"iotscope/internal/threatintel"
 )
 
 // DeviceEntry is one compromised device inside a bundle.
 type DeviceEntry struct {
-	Device      int      `json:"device"`
-	IP          string   `json:"ip"`
-	Category    string   `json:"category"`
-	Type        string   `json:"type"`
-	Services    []string `json:"services,omitempty"`
-	FirstSeen   int      `json:"firstSeenHour"`
-	Packets     uint64   `json:"packets"`
-	Behaviours  []string `json:"behaviours"`
+	Device     int      `json:"device"`
+	IP         string   `json:"ip"`
+	Category   string   `json:"category"`
+	Type       string   `json:"type"`
+	Services   []string `json:"services,omitempty"`
+	FirstSeen  int      `json:"firstSeenHour"`
+	Packets    uint64   `json:"packets"`
+	Records    uint64   `json:"records"`
+	ActiveDays int      `json:"activeDays"`
+	Behaviours []string `json:"behaviours"`
+	// UDPPorts and TCPPorts are the destination ports the device probed or
+	// scanned, ascending, capped at MaxPortsPerDevice.
+	UDPPorts []uint16 `json:"udpPorts,omitempty"`
+	TCPPorts []uint16 `json:"tcpPorts,omitempty"`
+	// ThreatFlags are corroborating threat-intelligence categories.
 	ThreatFlags []string `json:"threatFlags,omitempty"`
+	// MalwareFamilies and MalwareHashes are sandbox-corpus hits against the
+	// device's address: family names and the sample hashes behind them.
+	MalwareFamilies []string `json:"malwareFamilies,omitempty"`
+	MalwareHashes   []string `json:"malwareHashes,omitempty"`
 }
+
+// MaxPortsPerDevice caps the per-device port evidence a report carries; an
+// interval-119-style sweep touches tens of thousands of ports and an abuse
+// desk does not need them enumerated.
+const MaxPortsPerDevice = 12
 
 // Bundle is the abuse notification for one operator.
 type Bundle struct {
@@ -38,6 +62,10 @@ type Bundle struct {
 	Country string        `json:"country"`
 	Devices []DeviceEntry `json:"devices"`
 	Packets uint64        `json:"packets"`
+	Records uint64        `json:"records"`
+	// ISPIndex is the operator's index in the geo registry, carried so the
+	// notification pipeline can resolve the operator's abuse contact.
+	ISPIndex int `json:"ispIndex"`
 }
 
 // Config tunes bundle construction.
@@ -51,29 +79,55 @@ type Config struct {
 // DefaultConfig notifies every operator about every device.
 func DefaultConfig() Config { return Config{MinDevices: 1, MinPackets: 1} }
 
+// Sources collects the analysis outputs evidence is assembled from. Result,
+// Inventory, and Registry are required; the intel sources are optional and
+// extend the per-device evidence when present.
+type Sources struct {
+	Result    *correlate.Result
+	Inventory *devicedb.Inventory
+	Registry  *geo.Registry
+	Threat    *threatintel.Repository
+	Malware   *malwaredb.DB
+	Catalog   *malwaredb.Catalog
+}
+
 // Build assembles per-ISP bundles from a correlation result, ordered by
 // descending device count. The threat repository is optional (nil skips
-// corroboration flags).
+// corroboration flags). It is the compatibility form of BuildBundles.
 func Build(res *correlate.Result, inv *devicedb.Inventory, reg *geo.Registry,
 	repo *threatintel.Repository, cfg Config) []Bundle {
+	return BuildBundles(Sources{Result: res, Inventory: inv, Registry: reg, Threat: repo}, cfg)
+}
 
+// BuildBundles assembles per-ISP bundles with full per-device evidence,
+// ordered by descending device count. Filtering precedes aggregation:
+// devices under the MinPackets floor are dropped first and contribute to no
+// total, port index, or intel lookup.
+func BuildBundles(src Sources, cfg Config) []Bundle {
 	if cfg.MinDevices < 1 {
 		cfg.MinDevices = 1
 	}
+	res := src.Result
+
+	// Pass 1 — filter. Nothing below is aggregated before this pass is done.
+	kept := make([]int, 0, len(res.Devices))
+	for id, ds := range res.Devices {
+		if ds.TotalPackets() >= cfg.MinPackets {
+			kept = append(kept, id)
+		}
+	}
+	sort.Ints(kept)
+
+	// Pass 2 — evidence indexes over the surviving devices only.
+	udpPorts, tcpPorts := invertPortIndexes(res, kept)
+
+	// Pass 3 — aggregate.
 	byISP := make(map[int][]DeviceEntry)
 	pktsByISP := make(map[int]uint64)
-
-	ids := make([]int, 0, len(res.Devices))
-	for id := range res.Devices {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	recsByISP := make(map[int]uint64)
+	for _, id := range kept {
 		ds := res.Devices[id]
-		if ds.TotalPackets() < cfg.MinPackets {
-			continue
-		}
-		d := inv.At(id)
+		d := src.Inventory.At(id)
 		entry := DeviceEntry{
 			Device:     id,
 			IP:         d.IP.String(),
@@ -82,15 +136,23 @@ func Build(res *correlate.Result, inv *devicedb.Inventory, reg *geo.Registry,
 			Services:   d.Services,
 			FirstSeen:  ds.FirstSeen,
 			Packets:    ds.TotalPackets(),
+			Records:    ds.Records,
+			ActiveDays: bits.OnesCount64(ds.DayMask),
 			Behaviours: behaviours(ds),
+			UDPPorts:   udpPorts[id],
+			TCPPorts:   tcpPorts[id],
 		}
-		if repo != nil {
-			for _, c := range repo.CategoriesOf(d.IP) {
+		if src.Threat != nil {
+			for _, c := range src.Threat.CategoriesOf(d.IP) {
 				entry.ThreatFlags = append(entry.ThreatFlags, c.String())
 			}
 		}
+		if src.Malware != nil {
+			entry.MalwareFamilies, entry.MalwareHashes = malwareEvidence(src, d.IP)
+		}
 		byISP[d.ISP] = append(byISP[d.ISP], entry)
 		pktsByISP[d.ISP] += entry.Packets
+		recsByISP[d.ISP] += entry.Records
 	}
 
 	bundles := make([]Bundle, 0, len(byISP))
@@ -98,13 +160,15 @@ func Build(res *correlate.Result, inv *devicedb.Inventory, reg *geo.Registry,
 		if len(devices) < cfg.MinDevices {
 			continue
 		}
-		info := reg.ISPs[isp]
+		info := src.Registry.ISPs[isp]
 		bundles = append(bundles, Bundle{
-			ISP:     info.Name,
-			ASN:     info.ASN,
-			Country: info.Country,
-			Devices: devices,
-			Packets: pktsByISP[isp],
+			ISP:      info.Name,
+			ASN:      info.ASN,
+			Country:  info.Country,
+			Devices:  devices,
+			Packets:  pktsByISP[isp],
+			Records:  recsByISP[isp],
+			ISPIndex: isp,
 		})
 	}
 	sort.Slice(bundles, func(i, j int) bool {
@@ -117,6 +181,72 @@ func Build(res *correlate.Result, inv *devicedb.Inventory, reg *geo.Registry,
 		return bundles[i].ISP < bundles[j].ISP
 	})
 	return bundles
+}
+
+// invertPortIndexes turns the result's per-port device lists into per-device
+// port lists (ascending, capped at MaxPortsPerDevice) for the devices in
+// keep. The correlation aggregates by port because the paper's tables do;
+// a complaint needs the transpose.
+func invertPortIndexes(res *correlate.Result, keep []int) (udp, tcp map[int][]uint16) {
+	keepSet := make(map[int]bool, len(keep))
+	for _, id := range keep {
+		keepSet[id] = true
+	}
+	udp = make(map[int][]uint16)
+	tcp = make(map[int][]uint16)
+	add := func(m map[int][]uint16, id int, port uint16) {
+		if keepSet[id] {
+			m[id] = append(m[id], port)
+		}
+	}
+	for port, agg := range res.UDPPorts {
+		for _, id := range agg.Devices {
+			add(udp, int(id), port)
+		}
+	}
+	for port, agg := range res.TCPScanPorts {
+		for _, id := range agg.DevicesConsumer {
+			add(tcp, int(id), port)
+		}
+		for _, id := range agg.DevicesCPS {
+			add(tcp, int(id), port)
+		}
+	}
+	for _, m := range []map[int][]uint16{udp, tcp} {
+		for id, ports := range m {
+			sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+			if len(ports) > MaxPortsPerDevice {
+				ports = ports[:MaxPortsPerDevice]
+			}
+			m[id] = ports
+		}
+	}
+	return udp, tcp
+}
+
+// malwareEvidence collects the distinct families and sample hashes of
+// sandbox reports whose network activity touched ip. Samples the catalog
+// cannot attribute surface as "unclassified" — a hit without a name is
+// still evidence.
+func malwareEvidence(src Sources, ip netx.Addr) (families, hashes []string) {
+	seen := make(map[string]bool)
+	for _, ri := range src.Malware.ReportsForIP(ip) {
+		rep := src.Malware.Report(ri)
+		hashes = append(hashes, rep.SHA256)
+		fam := "unclassified"
+		if src.Catalog != nil {
+			if f, ok := src.Catalog.Family(rep.SHA256); ok {
+				fam = f
+			}
+		}
+		if !seen[fam] {
+			seen[fam] = true
+			families = append(families, fam)
+		}
+	}
+	sort.Strings(families)
+	sort.Strings(hashes)
+	return families, hashes
 }
 
 // behaviours summarizes what the device was observed doing.

@@ -1,0 +1,794 @@
+// Package outqueue is the persistent outbound queue behind the abuse
+// notification pipeline: rendered complaints are enqueued durably, deduped
+// per operator under escalating suppression windows, and drained to a
+// delivery sink with their state (pending/sent/failed/suppressed) surviving
+// any crash.
+//
+// Durability follows the resultstore discipline. The queue directory holds
+// a contiguous run of immutable segment files, seg-00000001.oq onward; each
+// mutation batch (an enqueue call, a single delivery-state transition)
+// becomes one new segment written atomically (`.tmp` + fsync + rename), so
+// a reader never observes a half-written segment and a killed process
+// loses at most the mutation it had not yet committed. Re-opening the
+// directory replays the segments in order through the same apply path the
+// live queue uses, reconstructing byte-identical state.
+//
+// Segment layout (all integers little-endian):
+//
+//	header  "IOQS" | version u8 | reserved u8 | reserved u16=0 | seq u32
+//	record  kind u8 | payloadLen u32 | crc32(payload) u32 | payload
+//	footer  kind 0 | recordCount u32 | crc32(concatenated record CRCs) u32
+//
+// followed by mandatory EOF. The fault taxonomy mirrors resultstore's:
+// ErrTruncated (the segment ends early — retryable) wraps ErrBadFormat
+// (structural corruption — permanent), and fs.ErrNotExist passes through.
+//
+// Deduplication is event-time based: the first accepted report for a dedup
+// key suppresses repeats for 24 hours of event time, and every further
+// accepted report doubles the window — the escalating ban-window scheme
+// production abuse desks run so a noisy device does not flood its
+// operator's mailbox.
+package outqueue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	magic = "IOQS"
+	// Version is the current segment codec version.
+	Version = 1
+	// InitialWindowHours is the suppression window after a key's first
+	// accepted report; each further accepted report doubles it.
+	InitialWindowHours = 24
+	// maxWindowHours caps the doubling so the window arithmetic can never
+	// overflow event-hour offsets.
+	maxWindowHours = 1 << 20
+)
+
+const headerLen = 4 + 1 + 1 + 2 + 4
+
+// Record kinds.
+const (
+	recFooter   = 0
+	recEnqueue  = 1
+	recState    = 2
+	recSuppress = 3
+)
+
+// ErrBadFormat indicates a corrupt or foreign segment file, or a replay
+// that contradicts the queue's invariants. Permanent.
+var ErrBadFormat = errors.New("outqueue: bad segment format")
+
+// ErrTruncated indicates a segment that ends before its footer: intact as
+// far as it goes but incomplete. It wraps ErrBadFormat.
+var ErrTruncated = fmt.Errorf("outqueue: truncated: %w", ErrBadFormat)
+
+// IsRetryable reports whether an Open failure may resolve on its own: a
+// truncated segment (a producer may still be writing on a non-atomic
+// transport) or a directory that does not exist yet. Structural corruption
+// is permanent.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, fs.ErrNotExist)
+}
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("outqueue: "+format+": %w", append(args, ErrBadFormat)...)
+}
+
+// State is an item's delivery state.
+type State uint8
+
+const (
+	// StatePending awaits delivery.
+	StatePending State = 1
+	// StateSent was delivered to the sink.
+	StateSent State = 2
+	// StateFailed was abandoned after a permanent sink error or an
+	// exhausted retry budget.
+	StateFailed State = 3
+	// StateSuppressed was deduplicated on enqueue: a repeat report inside
+	// its key's suppression window. Never delivered.
+	StateSuppressed State = 4
+)
+
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateSent:
+		return "sent"
+	case StateFailed:
+		return "failed"
+	case StateSuppressed:
+		return "suppressed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Notification is one rendered abuse report bound for a contact.
+type Notification struct {
+	// DedupKey identifies the notification target for suppression —
+	// typically one key per operator (e.g. "as64512").
+	DedupKey string
+	// Contact is the resolved abuse mailbox.
+	Contact string
+	// Tier records which resolution tier produced the contact.
+	Tier string
+	// Subject and Body are the rendered complaint.
+	Subject string
+	Body    string
+	// EventHour is the report's event time in dataset hours; suppression
+	// windows are measured against it, not wall time.
+	EventHour int
+	// Devices and Packets summarize the evidence for stats.
+	Devices int
+	Packets uint64
+}
+
+// Item is one queued notification with its delivery state.
+type Item struct {
+	ID uint64
+	Notification
+	State    State
+	Attempts int
+	// Detail carries the failure reason for StateFailed.
+	Detail string
+}
+
+// KeyState is the suppression bookkeeping for one dedup key.
+type KeyState struct {
+	// Reports counts accepted (non-suppressed) reports.
+	Reports int
+	// Suppressed counts deduplicated repeats.
+	Suppressed int
+	// LastHour is the event hour of the last accepted report.
+	LastHour int
+	// WindowHours is the suppression window now in force: repeats with
+	// EventHour < LastHour+WindowHours are suppressed.
+	WindowHours int
+}
+
+// Stats summarizes queue state.
+type Stats struct {
+	Items      int `json:"items"`
+	Pending    int `json:"pending"`
+	Sent       int `json:"sent"`
+	Failed     int `json:"failed"`
+	Suppressed int `json:"suppressed"`
+	Keys       int `json:"keys"`
+	Segments   int `json:"segments"`
+}
+
+// Queue is the persistent outbound queue over one directory. All methods
+// are safe for concurrent use; durability is committed before any mutation
+// becomes visible in memory.
+type Queue struct {
+	dir string
+
+	mu      sync.Mutex
+	items   []*Item // items[i].ID == i+1
+	keys    map[string]*KeyState
+	nextSeq uint32
+}
+
+// Open loads (or initializes) the queue at dir, replaying every segment.
+// The segment run must be contiguous from 1: a gap means lost mutations
+// and is permanent damage. Leftover .tmp files from a killed writer are
+// removed — their rename never happened, so they were never part of the
+// queue.
+func Open(dir string) (*Queue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(name, "seg-%d.oq", &seq); err != nil || segName(uint32(seq)) != name {
+			continue // foreign file; leave it alone
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	q := &Queue{dir: dir, keys: make(map[string]*KeyState), nextSeq: 1}
+	for i, seq := range seqs {
+		if seq != i+1 {
+			return nil, badf("segment run has a gap: want seg %d, found %d", i+1, seq)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segName(uint32(seq))))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := decodeSegment(data, uint32(seq))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", segName(uint32(seq)), err)
+		}
+		for _, r := range recs {
+			if err := q.apply(r); err != nil {
+				return nil, fmt.Errorf("%s: %w", segName(uint32(seq)), err)
+			}
+		}
+		q.nextSeq = uint32(seq) + 1
+	}
+	return q, nil
+}
+
+func segName(seq uint32) string { return fmt.Sprintf("seg-%08d.oq", seq) }
+
+// Dir returns the queue directory.
+func (q *Queue) Dir() string { return q.dir }
+
+// Disposition is the outcome of enqueueing one notification.
+type Disposition uint8
+
+const (
+	// Enqueued entered the queue as a pending item.
+	Enqueued Disposition = iota
+	// Suppressed was deduplicated inside its key's suppression window.
+	Suppressed
+)
+
+// EnqueueStats summarizes one Enqueue call.
+type EnqueueStats struct {
+	Enqueued   int
+	Suppressed int
+}
+
+// Enqueue appends the notifications as one atomic segment, deduplicating
+// each against its key's suppression window (duplicates within the batch
+// dedup too — enqueue is idempotent). The per-notification dispositions
+// are returned in input order. Nothing is visible in memory until the
+// segment has been durably committed.
+func (q *Queue) Enqueue(ns ...Notification) ([]Disposition, EnqueueStats, error) {
+	var stats EnqueueStats
+	if len(ns) == 0 {
+		return nil, stats, nil
+	}
+	for i, n := range ns {
+		if n.DedupKey == "" {
+			return nil, stats, fmt.Errorf("outqueue: notification %d has no dedup key", i)
+		}
+		if n.EventHour < 0 {
+			return nil, stats, fmt.Errorf("outqueue: notification %d has negative event hour", i)
+		}
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	// Stage the records, tracking window state against a shadow copy so a
+	// failed commit leaves the live state untouched.
+	shadow := make(map[string]KeyState, len(ns))
+	keyState := func(key string) KeyState {
+		if ks, ok := shadow[key]; ok {
+			return ks
+		}
+		if ks, ok := q.keys[key]; ok {
+			return *ks
+		}
+		return KeyState{}
+	}
+	dispositions := make([]Disposition, len(ns))
+	var recs []record
+	nextID := uint64(len(q.items)) + 1
+	for i, n := range ns {
+		ks := keyState(n.DedupKey)
+		if ks.Reports > 0 && n.EventHour < ks.LastHour+ks.WindowHours {
+			dispositions[i] = Suppressed
+			stats.Suppressed++
+			ks.Suppressed++
+			shadow[n.DedupKey] = ks
+			recs = append(recs, record{kind: recSuppress, item: Item{
+				ID: nextID,
+				Notification: Notification{
+					DedupKey:  n.DedupKey,
+					EventHour: n.EventHour,
+				},
+				State: StateSuppressed,
+			}})
+			nextID++
+			continue
+		}
+		dispositions[i] = Enqueued
+		stats.Enqueued++
+		ks.Reports++
+		ks.LastHour = n.EventHour
+		if ks.WindowHours == 0 {
+			ks.WindowHours = InitialWindowHours
+		} else if ks.WindowHours < maxWindowHours {
+			ks.WindowHours *= 2
+		}
+		shadow[n.DedupKey] = ks
+		recs = append(recs, record{kind: recEnqueue, item: Item{
+			ID:           nextID,
+			Notification: n,
+			State:        StatePending,
+		}})
+		nextID++
+	}
+
+	if err := q.commit(recs); err != nil {
+		return nil, EnqueueStats{}, err
+	}
+	return dispositions, stats, nil
+}
+
+// MarkSent durably transitions a pending item to sent.
+func (q *Queue) MarkSent(id uint64, attempts int) error {
+	return q.markState(id, StateSent, attempts, "")
+}
+
+// MarkFailed durably transitions a pending item to failed with the reason.
+func (q *Queue) MarkFailed(id uint64, attempts int, detail string) error {
+	return q.markState(id, StateFailed, attempts, detail)
+}
+
+func (q *Queue) markState(id uint64, s State, attempts int, detail string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if id < 1 || id > uint64(len(q.items)) {
+		return fmt.Errorf("outqueue: no item %d", id)
+	}
+	if cur := q.items[id-1].State; cur != StatePending {
+		return fmt.Errorf("outqueue: item %d is %s, not pending", id, cur)
+	}
+	return q.commit([]record{{kind: recState, item: Item{
+		ID: id, State: s, Attempts: attempts, Detail: detail,
+	}}})
+}
+
+// commit encodes recs into the next segment, writes it atomically, and —
+// only then — applies them to the in-memory state through the same replay
+// path Open uses, so live state and restart state cannot diverge.
+// Callers hold q.mu.
+func (q *Queue) commit(recs []record) error {
+	data := encodeSegment(q.nextSeq, recs)
+	path := filepath.Join(q.dir, segName(q.nextSeq))
+	if err := writeAtomic(path, data); err != nil {
+		return err
+	}
+	q.nextSeq++
+	for _, r := range recs {
+		if err := q.apply(r); err != nil {
+			// The segment is durable but contradicts live state: a Queue
+			// invariant is broken. Surface loudly; this is a bug, not an
+			// I/O condition.
+			return fmt.Errorf("outqueue: committed segment rejected by apply: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply folds one replayed record into queue state. It is the single
+// mutation path shared by live commits and Open replay; violations of the
+// queue invariants (non-monotonic IDs, state transitions from terminal
+// states, suppress records for unknown keys) are ErrBadFormat.
+func (q *Queue) apply(r record) error {
+	switch r.kind {
+	case recEnqueue, recSuppress:
+		if want := uint64(len(q.items)) + 1; r.item.ID != want {
+			return badf("record ID %d out of order, want %d", r.item.ID, want)
+		}
+		if r.item.DedupKey == "" {
+			return badf("record %d has empty dedup key", r.item.ID)
+		}
+		it := r.item // copy
+		ks := q.keys[it.DedupKey]
+		if ks == nil {
+			ks = &KeyState{}
+			q.keys[it.DedupKey] = ks
+		}
+		if r.kind == recSuppress {
+			if ks.Reports == 0 {
+				return badf("suppress record %d for key %q with no prior report", it.ID, it.DedupKey)
+			}
+			it.State = StateSuppressed
+			ks.Suppressed++
+		} else {
+			it.State = StatePending
+			ks.Reports++
+			ks.LastHour = it.EventHour
+			if ks.WindowHours == 0 {
+				ks.WindowHours = InitialWindowHours
+			} else if ks.WindowHours < maxWindowHours {
+				ks.WindowHours *= 2
+			}
+		}
+		q.items = append(q.items, &it)
+		return nil
+	case recState:
+		if r.item.ID < 1 || r.item.ID > uint64(len(q.items)) {
+			return badf("state record for unknown item %d", r.item.ID)
+		}
+		if r.item.State != StateSent && r.item.State != StateFailed {
+			return badf("state record moves item %d to %s", r.item.ID, r.item.State)
+		}
+		it := q.items[r.item.ID-1]
+		if it.State != StatePending {
+			return badf("state record for item %d already %s", r.item.ID, it.State)
+		}
+		it.State = r.item.State
+		it.Attempts = r.item.Attempts
+		it.Detail = r.item.Detail
+		return nil
+	}
+	return badf("unknown record kind %d", r.kind)
+}
+
+// Items returns a copy of every queue item in ID order.
+func (q *Queue) Items() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Item, len(q.items))
+	for i, it := range q.items {
+		out[i] = *it
+	}
+	return out
+}
+
+// Pending returns copies of the items still awaiting delivery, in ID order.
+func (q *Queue) Pending() []Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Item
+	for _, it := range q.items {
+		if it.State == StatePending {
+			out = append(out, *it)
+		}
+	}
+	return out
+}
+
+// Key returns the suppression state for a dedup key.
+func (q *Queue) Key(key string) (KeyState, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ks, ok := q.keys[key]
+	if !ok {
+		return KeyState{}, false
+	}
+	return *ks, true
+}
+
+// Stats summarizes the queue.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := Stats{Items: len(q.items), Keys: len(q.keys), Segments: int(q.nextSeq) - 1}
+	for _, it := range q.items {
+		switch it.State {
+		case StatePending:
+			st.Pending++
+		case StateSent:
+			st.Sent++
+		case StateFailed:
+			st.Failed++
+		case StateSuppressed:
+			st.Suppressed++
+		}
+	}
+	return st
+}
+
+// Fingerprint returns a canonical encoding of the entire queue state —
+// every item field plus every key's suppression window — so tests can
+// assert that a kill-and-restart reconstructs byte-identical state.
+func (q *Queue) Fingerprint() []byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var e enc
+	e.u32(uint32(len(q.items)))
+	for _, it := range q.items {
+		e.u64(it.ID)
+		e.u8(uint8(it.State))
+		e.u32(uint32(it.Attempts))
+		e.str(it.Detail)
+		e.str(it.DedupKey)
+		e.str(it.Contact)
+		e.str(it.Tier)
+		e.str(it.Subject)
+		e.str(it.Body)
+		e.u32(uint32(it.EventHour))
+		e.u32(uint32(it.Devices))
+		e.u64(it.Packets)
+	}
+	keys := make([]string, 0, len(q.keys))
+	for k := range q.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.u32(uint32(len(keys)))
+	for _, k := range keys {
+		ks := q.keys[k]
+		e.str(k)
+		e.u32(uint32(ks.Reports))
+		e.u32(uint32(ks.Suppressed))
+		e.u32(uint32(ks.LastHour))
+		e.u32(uint32(ks.WindowHours))
+	}
+	return e.b
+}
+
+// ---- codec ----
+
+// record is the decoded form of one segment record.
+type record struct {
+	kind uint8
+	item Item
+}
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+
+func encodeSegment(seq uint32, recs []record) []byte {
+	var out enc
+	out.b = append(out.b, magic...)
+	out.u8(Version)
+	out.u8(0)
+	out.u16(0)
+	out.u32(seq)
+
+	var crcs []byte
+	for _, r := range recs {
+		var p enc
+		switch r.kind {
+		case recEnqueue:
+			p.u64(r.item.ID)
+			p.u32(uint32(r.item.EventHour))
+			p.u32(uint32(r.item.Devices))
+			p.u64(r.item.Packets)
+			p.str(r.item.DedupKey)
+			p.str(r.item.Contact)
+			p.str(r.item.Tier)
+			p.str(r.item.Subject)
+			p.str(r.item.Body)
+		case recSuppress:
+			p.u64(r.item.ID)
+			p.u32(uint32(r.item.EventHour))
+			p.str(r.item.DedupKey)
+		case recState:
+			p.u64(r.item.ID)
+			p.u8(uint8(r.item.State))
+			p.u32(uint32(r.item.Attempts))
+			p.str(r.item.Detail)
+		}
+		sum := crc32.ChecksumIEEE(p.b)
+		out.u8(r.kind)
+		out.u32(uint32(len(p.b)))
+		out.u32(sum)
+		out.b = append(out.b, p.b...)
+		crcs = binary.LittleEndian.AppendUint32(crcs, sum)
+	}
+	out.u8(recFooter)
+	out.u32(uint32(len(recs)))
+	out.u32(crc32.ChecksumIEEE(crcs))
+	return out.b
+}
+
+// decodeSegment parses and fully validates one segment image. Every CRC,
+// the footer count and digest, and the trailing-EOF rule are checked before
+// any record is returned.
+func decodeSegment(data []byte, wantSeq uint32) ([]record, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, badf("bad magic %q", data[:len(magic)])
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: short header", ErrTruncated)
+	}
+	version := data[4]
+	if version == 0 || int(version) > Version {
+		return nil, badf("unsupported version %d", version)
+	}
+	if data[5] != 0 || binary.LittleEndian.Uint16(data[6:]) != 0 {
+		return nil, badf("reserved header bits set")
+	}
+	seq := binary.LittleEndian.Uint32(data[8:])
+	if wantSeq != 0 && seq != wantSeq {
+		return nil, badf("segment claims seq %d, file name says %d", seq, wantSeq)
+	}
+
+	var (
+		recs []record
+		crcs []byte
+		off  = headerLen
+	)
+	for {
+		if off >= len(data) {
+			return nil, fmt.Errorf("%w: missing footer", ErrTruncated)
+		}
+		kind := data[off]
+		off++
+		if kind == recFooter {
+			if len(data)-off < 8 {
+				return nil, fmt.Errorf("%w: short footer", ErrTruncated)
+			}
+			count := binary.LittleEndian.Uint32(data[off:])
+			digest := binary.LittleEndian.Uint32(data[off+4:])
+			off += 8
+			if int(count) != len(recs) {
+				return nil, badf("footer counts %d records, read %d", count, len(recs))
+			}
+			if digest != crc32.ChecksumIEEE(crcs) {
+				return nil, badf("footer digest mismatch")
+			}
+			if off != len(data) {
+				return nil, badf("%d trailing bytes after footer", len(data)-off)
+			}
+			return recs, nil
+		}
+		if kind > recSuppress {
+			return nil, badf("unknown record kind %d", kind)
+		}
+		if len(data)-off < 8 {
+			return nil, fmt.Errorf("%w: short record header", ErrTruncated)
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		off += 8
+		if len(data)-off < int(plen) {
+			return nil, fmt.Errorf("%w: record body cut short", ErrTruncated)
+		}
+		payload := data[off : off+int(plen)]
+		off += int(plen)
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, badf("record checksum mismatch")
+		}
+		r, err := parseRecord(kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+		crcs = binary.LittleEndian.AppendUint32(crcs, sum)
+	}
+}
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.err = errors.New("short record")
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if !d.need(n) {
+		return ""
+	}
+	v := string(d.b[d.off : d.off+n])
+	d.off += n
+	return v
+}
+
+// finish validates exact consumption: a CRC-valid record that underflows or
+// leaves bytes behind is structurally damaged, never truncation.
+func (d *dec) finish(what string) error {
+	if d.err != nil {
+		return badf("%s record underflows", what)
+	}
+	if d.off != len(d.b) {
+		return badf("%s record has %d leftover bytes", what, len(d.b)-d.off)
+	}
+	return nil
+}
+
+func parseRecord(kind uint8, payload []byte) (record, error) {
+	d := &dec{b: payload}
+	r := record{kind: kind}
+	switch kind {
+	case recEnqueue:
+		r.item.ID = d.u64()
+		r.item.EventHour = int(d.u32())
+		r.item.Devices = int(d.u32())
+		r.item.Packets = d.u64()
+		r.item.DedupKey = d.str()
+		r.item.Contact = d.str()
+		r.item.Tier = d.str()
+		r.item.Subject = d.str()
+		r.item.Body = d.str()
+		if err := d.finish("enqueue"); err != nil {
+			return record{}, err
+		}
+	case recSuppress:
+		r.item.ID = d.u64()
+		r.item.EventHour = int(d.u32())
+		r.item.DedupKey = d.str()
+		if err := d.finish("suppress"); err != nil {
+			return record{}, err
+		}
+	case recState:
+		r.item.ID = d.u64()
+		r.item.State = State(d.u8())
+		r.item.Attempts = int(d.u32())
+		r.item.Detail = d.str()
+		if err := d.finish("state"); err != nil {
+			return record{}, err
+		}
+	}
+	return r, nil
+}
+
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -168,6 +168,25 @@ func (rl *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
 }
 
+// Wait blocks until a token for key is available or the context is done.
+// It is the batch-side counterpart of Allow: HTTP handlers shed load, but a
+// queue drain would rather pace itself than drop work.
+func (rl *RateLimiter) Wait(ctx context.Context, key string) error {
+	for {
+		ok, retryAfter := rl.Allow(key)
+		if ok {
+			return nil
+		}
+		t := time.NewTimer(retryAfter)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
 // prune drops buckets idle long enough to have refilled completely — they
 // carry no state a fresh bucket would not.
 func (rl *RateLimiter) prune(now time.Time) {

@@ -1,7 +1,9 @@
 package resilience
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -204,5 +206,49 @@ func TestShedResponseRoundsUp(t *testing.T) {
 	ShedResponse(rec, http.StatusServiceUnavailable, 10*time.Millisecond, "x")
 	if rec.Header().Get("Retry-After") != "1" {
 		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+}
+
+// Wait blocks until a token accrues, and honors cancellation while parked.
+func TestRateLimiterWait(t *testing.T) {
+	rl, err := NewRateLimiter(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst token is free; the second call must wait ~10ms for a refill.
+	start := time.Now()
+	if err := rl.Wait(context.Background(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Wait(context.Background(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("second Wait returned after %v without a refill wait", elapsed)
+	}
+
+	// An exhausted bucket with a nearly-dead refill rate: cancellation wins.
+	slow, err := NewRateLimiter(0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Wait(context.Background(), "k"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := slow.Wait(ctx, "k"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on drained bucket returned %v", err)
+	}
+
+	// An already-cancelled context still gets a token if one is available.
+	fresh, err := NewRateLimiter(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if err := fresh.Wait(done, "k"); err != nil {
+		t.Fatalf("Wait with available token returned %v", err)
 	}
 }
