@@ -6,11 +6,12 @@ GO ?= go
 # pipeline engine with its parallel composite, the cmd wiring that drives
 # it, the atomic file writer raced against readers, the result store
 # codec behind checkpoint/resume, and the notification pipeline (outbound
-# queue drain, contact resolver shared across stages).
+# queue drain, contact resolver shared across stages), and the streaming
+# collector (tailer goroutine, bounded event channel, alert hub fan-out).
 RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
 	./internal/resilience ./internal/pipeline ./internal/core \
 	./internal/resultstore ./internal/faultfs \
-	./internal/outqueue ./internal/abusecontact \
+	./internal/outqueue ./internal/abusecontact ./internal/stream \
 	./cmd/iotwatch ./cmd/iotserve ./cmd/iotinfer ./cmd/iotreport \
 	./cmd/iotnotify
 
@@ -48,9 +49,11 @@ fuzz:
 
 # Serving chaos suite: signal-driven lifecycle (SIGHUP reload under load,
 # corrupt-dataset reload, SIGTERM drain) plus HTTP admission-control and
-# slow-client shedding, all race-detector clean.
+# slow-client shedding, plus the streaming collector killed mid-seal and
+# restarted (byte-identical checkpoint, exactly-once alerts), all
+# race-detector clean.
 chaos:
-	$(GO) test -race -run 'TestChaos' ./cmd/iotserve ./internal/apiserve
+	$(GO) test -race -run 'TestChaos' ./cmd/iotserve ./internal/apiserve ./internal/stream
 
 # Hot-path acceptance benchmarks, recorded as a committed benchstat-
 # comparable JSON file (see docs/PERFORMANCE.md). Compare two runs with:
@@ -60,7 +63,7 @@ chaos:
 BENCH_DATE ?= $(shell date +%F)
 BENCH_TAG ?= dev
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$' \
 		-benchmem -benchtime 2s -count 3 . \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag $(BENCH_TAG) > BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
 	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE)-$(BENCH_TAG).json

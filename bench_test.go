@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"iotscope/internal/analysis"
 	"iotscope/internal/campaign"
@@ -29,6 +30,7 @@ import (
 	"iotscope/internal/rng"
 	"iotscope/internal/sketch"
 	"iotscope/internal/stats"
+	"iotscope/internal/stream"
 	"iotscope/internal/threatintel"
 	"iotscope/internal/wgen"
 )
@@ -641,6 +643,37 @@ func BenchmarkIncrementalIngest(b *testing.B) {
 }
 
 var benchInc *correlate.Incremental
+
+// BenchmarkStreamIngest measures the live streaming path end to end: the
+// collector drains the shared dataset through the tailer, event-time
+// windows, watermark-driven seals, alert derivation (including the
+// per-window campaign pass), and the in-memory alert journal.
+func BenchmarkStreamIngest(b *testing.B) {
+	ds, _ := benchFixture(b)
+	cfg := core.DefaultConfig(benchScale, benchSeed)
+	cfg.Lenient = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := stream.New(stream.Config{
+			Dir:       ds.Dir,
+			Poll:      time.Millisecond,
+			Drain:     true,
+			Campaigns: true,
+		}, func() (*correlate.Incremental, error) {
+			return ds.NewIncremental(cfg)
+		}, stream.NewHub(nil))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := col.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if st := col.Stats(); st.WindowsSealed == 0 || st.AlertsEmitted == 0 {
+			b.Fatalf("drain sealed %d windows, emitted %d alerts", st.WindowsSealed, st.AlertsEmitted)
+		}
+	}
+}
 
 // --- Snapshot result store (docs/SNAPSHOTS.md).
 

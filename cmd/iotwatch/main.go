@@ -22,16 +22,31 @@
 // mismatched checkpoint warns and cold-starts; a checkpoint write failure
 // warns and keeps watching.
 //
+// With -follow the watcher switches to the streaming collector
+// (internal/stream): record batches flow into event-time windows as files
+// grow — no waiting for hour boundaries — sealed by a low-watermark
+// (-lateness hours behind the newest hour seen). Sealed windows emit
+// low-latency alerts (new compromised devices, DoS spikes, new campaigns)
+// to stdout, to a crash-safe journal (-alert-log, defaulting next to the
+// checkpoint), and optionally over HTTP (-alerts-addr: long-poll /alerts,
+// SSE /alerts/stream). Alerts are exactly-once across kill-and-restart:
+// the journal dedups by key and each sealed window checkpoints before the
+// watcher moves on. A crashed ingest loop is restarted under the same
+// retry policy, resuming from the checkpoint.
+//
 // Usage:
 //
 //	iotwatch -data DIR [-poll 2s] [-once] [-alarm 8] [-retries 3] [-backoff 500ms]
 //	         [-checkpoint-dir DIR] [-stage-report FILE|-]
+//	         [-follow] [-lateness 1] [-alert-log FILE] [-alerts-addr HOST:PORT]
 //
 // With -once the watcher ingests whatever is present (including retry
 // resolution) and exits (useful for scripting and tests); otherwise it
-// polls until interrupted. Either way the watch runs as a stage of the
-// pipeline engine: an interrupt cancels the ingest loop at the next hour
-// boundary, prints the summary, and exits cleanly.
+// polls until interrupted. In -follow mode -once drains: the collector
+// exits once a full sweep finds nothing new, force-sealing open windows.
+// Either way the watch runs as a stage of the pipeline engine: an
+// interrupt cancels the ingest loop at the next hour boundary, prints the
+// summary, and exits cleanly.
 package main
 
 import (
@@ -73,6 +88,10 @@ func run(args []string) error {
 		backoff     = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (doubles per attempt)")
 		ckptDir     = fs.String("checkpoint-dir", "", "persist incremental state here after every hour and resume from it at startup")
 		stageReport = fs.String("stage-report", "", "write per-stage pipeline metrics JSON to this file (- = stderr)")
+		follow      = fs.Bool("follow", false, "stream record batches as files grow (windowed ingest with watermarks and live alerts)")
+		lateness    = fs.Int("lateness", 1, "watermark lateness in hours for -follow windows")
+		alertLog    = fs.String("alert-log", "", "alert journal path for -follow (default <checkpoint-dir>/alerts.jsonl)")
+		alertsAddr  = fs.String("alerts-addr", "", "serve -follow alerts over HTTP on this address (long-poll /alerts, SSE /alerts/stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,12 +102,29 @@ func run(args []string) error {
 	if *retries < 0 || *backoff < 0 {
 		return fmt.Errorf("-retries and -backoff must be non-negative")
 	}
+	if *lateness < 0 {
+		return fmt.Errorf("-lateness must be non-negative")
+	}
 	ds, err := core.Open(*data)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
 	cfg.Lenient = true
+	if *follow {
+		return runFollow(ds, cfg, followOpts{
+			ckptDir:     *ckptDir,
+			alertLog:    *alertLog,
+			addr:        *alertsAddr,
+			stageReport: *stageReport,
+			poll:        *poll,
+			backoff:     *backoff,
+			drain:       *once,
+			alarm:       *alarm,
+			lateness:    *lateness,
+			retries:     *retries,
+		})
+	}
 	inc, ckptPath, err := openIncremental(ds, cfg, *ckptDir)
 	if err != nil {
 		return err
@@ -255,7 +291,7 @@ func (w *watcher) sweep(ctx context.Context) (int, error) {
 			}
 			if w.policy.ShouldRetry(err, w.attempts[h]) {
 				w.attempts[h]++
-				delay := w.policy.Delay(w.attempts[h])
+				delay := w.policy.JitteredDelay(w.attempts[h])
 				w.nextTry[h] = now.Add(delay)
 				fmt.Printf("[hour %3d] incomplete, retry %d/%d in %s: %v\n",
 					h, w.attempts[h], w.policy.MaxRetries, delay, err)

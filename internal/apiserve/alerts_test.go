@@ -1,0 +1,113 @@
+package apiserve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iotscope/internal/stream"
+)
+
+func alertServer(t *testing.T) (*Server, *stream.Hub) {
+	t.Helper()
+	loadServer(t)
+	hub := stream.NewHub(nil)
+	s, err := New(srvDS, srvRes, []string{testToken}, WithAlerts(hub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, hub
+}
+
+func TestAlertsRequireHub(t *testing.T) {
+	s := loadServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/v1/alerts", nil)
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("alerts without hub: %d, want 404", rec.Code)
+	}
+	if _, err := New(srvDS, srvRes, []string{testToken}, WithAlerts(nil)); err == nil {
+		t.Error("nil hub accepted")
+	}
+}
+
+func TestAlertsAuthAndList(t *testing.T) {
+	s, hub := alertServer(t)
+	if _, _, err := hub.Emit(stream.Alert{Kind: stream.KindNewDevice, Key: "device/9", Hour: 2, Device: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, _ := get(t, s, "/v1/alerts", ""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated alerts: %d, want 401", code)
+	}
+	if code, _ := get(t, s, "/v1/alerts/stream", ""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated stream: %d, want 401", code)
+	}
+
+	code, body := get(t, s, "/v1/alerts?since=0", testToken)
+	if code != http.StatusOK {
+		t.Fatalf("alerts: %d %v", code, body)
+	}
+	alerts, ok := body["alerts"].([]any)
+	if !ok || len(alerts) != 1 {
+		t.Fatalf("alerts payload: %v", body)
+	}
+	first, _ := alerts[0].(map[string]any)
+	if first["key"] != "device/9" || body["latest"] != float64(1) {
+		t.Fatalf("alert body: %v latest %v", first, body["latest"])
+	}
+}
+
+func TestAlertsStreamSSE(t *testing.T) {
+	s, hub := alertServer(t)
+	if _, _, err := hub.Emit(stream.Alert{Kind: stream.KindDoSSpike, Key: "dos/h5", Hour: 5, Packets: 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/alerts/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+testToken)
+	req.Header.Set("Last-Event-ID", "0")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan stream.Alert, 2)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var a stream.Alert
+				if json.Unmarshal([]byte(data), &a) == nil {
+					events <- a
+				}
+			}
+		}
+	}()
+	select {
+	case a := <-events:
+		if a.Key != "dos/h5" || a.ID != 1 {
+			t.Fatalf("replayed alert: %+v", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backlog alert never arrived over SSE")
+	}
+}

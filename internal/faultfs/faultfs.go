@@ -1,7 +1,8 @@
 // Package faultfs injects deterministic storage faults into dataset files
 // so that ingestion failure paths can be exercised by tests: byte-level
-// truncation, bit flips, clean mid-stream cuts, and slow non-atomic writes
-// that emulate a legacy collector caught in the act. Every operation is
+// truncation, bit flips, clean mid-stream cuts, slow non-atomic writes
+// that emulate a legacy collector caught in the act, and a single-stepped
+// Grower that reveals a live file prefix by prefix. Every operation is
 // pure byte surgery — nothing here knows the flowtuple framing — which
 // keeps the injected faults honest stand-ins for real disk and transfer
 // damage.
@@ -172,6 +173,91 @@ func WriteFileSlowly(path string, data []byte, chunk int, delay time.Duration) e
 		}
 	}
 	return f.Close()
+}
+
+// Grower publishes a file's bytes in increments the test controls — the
+// partial-append / slow-grow fault mode for streaming ingestion. Unlike
+// WriteFileSlowly it never sleeps: each Grow call appends exactly the
+// requested bytes and returns, so a tailer can be single-stepped through
+// every intermediate prefix deterministically. The already-published
+// prefix can additionally be damaged mid-growth with CorruptPublished,
+// modelling a live file whose earlier bytes rot under the reader.
+type Grower struct {
+	path string
+	data []byte
+	off  int
+}
+
+// NewGrower creates (or truncates) path empty and prepares to reveal data
+// through it.
+func NewGrower(path string, data []byte) (*Grower, error) {
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		return nil, err
+	}
+	return &Grower{path: path, data: data}, nil
+}
+
+// Path returns the file being grown.
+func (g *Grower) Path() string { return g.path }
+
+// Offset reports how many bytes have been published so far.
+func (g *Grower) Offset() int { return g.off }
+
+// Remaining reports how many bytes are still unpublished.
+func (g *Grower) Remaining() int { return len(g.data) - g.off }
+
+// Done reports whether the file has reached its full content.
+func (g *Grower) Done() bool { return g.off >= len(g.data) }
+
+// Grow appends the next min(n, Remaining()) bytes and syncs, returning
+// how many were actually published.
+func (g *Grower) Grow(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("faultfs: grow %d bytes grows nothing", n)
+	}
+	if n > g.Remaining() {
+		n = g.Remaining()
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	f, err := os.OpenFile(g.path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(g.data[g.off : g.off+n]); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	g.off += n
+	return n, f.Close()
+}
+
+// GrowAll publishes everything still unrevealed.
+func (g *Grower) GrowAll() error {
+	if g.Remaining() == 0 {
+		return nil
+	}
+	_, err := g.Grow(g.Remaining())
+	return err
+}
+
+// CorruptPublished flips mask into an already-published byte (negative
+// offsets resolve from the published end), so a test can damage the live
+// prefix a tailer has potentially already read.
+func (g *Grower) CorruptPublished(offset int64, mask byte) error {
+	if offset < 0 {
+		offset += int64(g.off)
+	}
+	if offset < 0 || offset >= int64(g.off) {
+		return fmt.Errorf("faultfs: offset %d outside published prefix of %d bytes", offset, g.off)
+	}
+	g.data[offset] ^= mask
+	return BitFlip(g.path, offset, mask)
 }
 
 func rewrite(path string, data []byte) error {

@@ -246,7 +246,7 @@ func (q *Queue) Drain(ctx context.Context, sink Sink, opts DrainOptions) (DrainS
 				return st, ctx.Err()
 			}
 			if opts.Policy.ShouldRetry(err, attempts-1) {
-				if serr := pipeline.Sleep(ctx, opts.Policy.Delay(attempts)); serr != nil {
+				if serr := pipeline.Sleep(ctx, opts.Policy.JitteredDelay(attempts)); serr != nil {
 					return st, serr
 				}
 				continue

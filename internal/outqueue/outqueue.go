@@ -185,7 +185,9 @@ type Queue struct {
 // The segment run must be contiguous from 1: a gap means lost mutations
 // and is permanent damage. Leftover .tmp files from a killed writer are
 // removed — their rename never happened, so they were never part of the
-// queue.
+// queue. A zero-length trailing segment (crash between create and first
+// write) is tolerated as a lost commit: it is skipped and its sequence
+// number reused.
 func Open(dir string) (*Queue, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -216,6 +218,20 @@ func Open(dir string) (*Queue, error) {
 		data, err := os.ReadFile(filepath.Join(dir, segName(uint32(seq))))
 		if err != nil {
 			return nil, err
+		}
+		// A zero-length *trailing* segment is a lost commit, not damage: a
+		// crash (or a non-atomic transport) created the file before any
+		// byte of the mutation reached it, so the mutation was never
+		// committed and the file was never part of history. Skip it and
+		// reuse its sequence — the next commit atomically overwrites it.
+		// Mid-run, the same emptiness means later mutations were applied
+		// on top of a hole, which is permanent damage like any gap.
+		if len(data) == 0 {
+			if i == len(seqs)-1 {
+				q.nextSeq = uint32(seq)
+				break
+			}
+			return nil, badf("segment %d is empty mid-run", seq)
 		}
 		recs, err := decodeSegment(data, uint32(seq))
 		if err != nil {

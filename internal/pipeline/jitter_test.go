@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitteredDelayDiverges pins the anti-retry-storm property: two
+// policies with the same base schedule must not produce the same delay
+// sequence. Each jittered delay is drawn independently, so eight draws
+// from a half-second jitter range colliding across two policies is
+// astronomically unlikely; identical sequences mean the jitter is gone.
+func TestJitteredDelayDiverges(t *testing.T) {
+	a := RetryPolicy{MaxRetries: 8, BaseBackoff: time.Second}
+	b := RetryPolicy{MaxRetries: 8, BaseBackoff: time.Second}
+	same := true
+	for retry := 1; retry <= 8; retry++ {
+		da, db := a.JitteredDelay(retry), b.JitteredDelay(retry)
+		if da != db {
+			same = false
+		}
+		// Equal-jitter bounds: the deterministic half keeps exponential
+		// growth, the random half stays inside the schedule.
+		base := a.Delay(retry)
+		for _, d := range []time.Duration{da, db} {
+			if d < base/2 || d > base {
+				t.Fatalf("retry %d: jittered delay %v outside [%v, %v]", retry, d, base/2, base)
+			}
+		}
+	}
+	if same {
+		t.Fatal("two policies with the same base schedule produced identical jittered sequences")
+	}
+}
+
+// TestJitteredDelayDegenerate covers the edges: zero and sub-nanosecond
+// backoffs pass through untouched, and the retry clamp still applies.
+func TestJitteredDelayDegenerate(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 0}
+	if d := p.JitteredDelay(3); d != 0 {
+		t.Fatalf("zero backoff jittered to %v", d)
+	}
+	one := RetryPolicy{BaseBackoff: 1}
+	if d := one.JitteredDelay(1); d != 1 {
+		t.Fatalf("1ns backoff jittered to %v", d)
+	}
+	big := RetryPolicy{BaseBackoff: time.Millisecond}
+	if d := big.JitteredDelay(100); d > big.Delay(32) {
+		t.Fatalf("clamped retry exceeded Delay(32): %v", d)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math/rand/v2"
 	"os"
 	"sync"
 	"time"
@@ -393,8 +394,10 @@ type RetryPolicy struct {
 	Retryable func(error) bool
 }
 
-// Delay returns the backoff before retry n (1-based): BaseBackoff
-// doubling per attempt.
+// Delay returns the deterministic backoff before retry n (1-based):
+// BaseBackoff doubling per attempt. Prefer JitteredDelay when several
+// retriers can share a failure — identical schedules synchronize them
+// into retry storms against whatever just recovered.
 func (p RetryPolicy) Delay(retry int) time.Duration {
 	if retry < 1 {
 		retry = 1
@@ -403,6 +406,21 @@ func (p RetryPolicy) Delay(retry int) time.Duration {
 		retry = 32
 	}
 	return p.BaseBackoff << (retry - 1)
+}
+
+// JitteredDelay returns the backoff before retry n with equal-jitter
+// spreading: half of Delay(n) held deterministic so backoff still grows
+// exponentially, the other half drawn uniformly at random. Two policies
+// with the same base schedule therefore diverge, which is exactly the
+// point — concurrent retriers that failed together must not all come
+// back at the same instant.
+func (p RetryPolicy) JitteredDelay(retry int) time.Duration {
+	d := p.Delay(retry)
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(d-half)+1))
 }
 
 // Exhausted reports whether the budget allows no further retry after the
@@ -459,7 +477,7 @@ func (r *retryStage) Run(ctx context.Context, st *State) error {
 			return err
 		}
 		m.Retries++
-		if serr := Sleep(ctx, r.policy.Delay(retries+1)); serr != nil {
+		if serr := Sleep(ctx, r.policy.JitteredDelay(retries+1)); serr != nil {
 			return serr
 		}
 	}

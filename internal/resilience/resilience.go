@@ -170,9 +170,15 @@ func (rl *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
 
 // Wait blocks until a token for key is available or the context is done.
 // It is the batch-side counterpart of Allow: HTTP handlers shed load, but a
-// queue drain would rather pace itself than drop work.
+// queue drain would rather pace itself than drop work. A context that is
+// already done never consumes a token — the ctx check precedes every
+// Allow, so cancellation cannot race a grant into a token the caller will
+// never use.
 func (rl *RateLimiter) Wait(ctx context.Context, key string) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ok, retryAfter := rl.Allow(key)
 		if ok {
 			return nil

@@ -241,14 +241,112 @@ func TestRateLimiterWait(t *testing.T) {
 		t.Fatalf("Wait on drained bucket returned %v", err)
 	}
 
-	// An already-cancelled context still gets a token if one is available.
+	// An already-cancelled context returns immediately and must NOT
+	// consume a token: the caller is gone, so granting would leak the
+	// token past its user and starve the next live waiter.
 	fresh, err := NewRateLimiter(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	done, cancelNow := context.WithCancel(context.Background())
 	cancelNow()
-	if err := fresh.Wait(done, "k"); err != nil {
-		t.Fatalf("Wait with available token returned %v", err)
+	if err := fresh.Wait(done, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait with dead context returned %v", err)
+	}
+	if ok, _ := fresh.Allow("k"); !ok {
+		t.Fatal("dead-context Wait consumed the burst token")
+	}
+}
+
+// TestRateLimiterWaitCancelPrompt proves a context cancelled mid-wait
+// returns promptly — bounded by the cancellation, not by the (enormous)
+// refill interval — and that the aborted wait consumed nothing.
+func TestRateLimiterWaitCancelPrompt(t *testing.T) {
+	rl, err := NewRateLimiter(0.0001, 1) // next refill ~3 hours away
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := rl.Allow("k"); !ok {
+		t.Fatal("burst token missing")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- rl.Wait(ctx, "k") }()
+	time.Sleep(10 * time.Millisecond) // park the waiter on its timer
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return promptly after cancel")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("cancel-to-return took %v", waited)
+	}
+	// The aborted wait must not have burned the bucket's accounting:
+	// with time frozen at "now", exactly zero tokens should have been
+	// granted beyond the one Allow above.
+	if ok, _ := rl.Allow("k"); ok {
+		t.Fatal("cancelled Wait left a phantom token behind")
+	}
+}
+
+// TestRateLimiterWaitConcurrentCancelNoLeak drains a frozen-clock bucket,
+// parks many waiters, cancels them all, then advances the clock by
+// exactly burst refills: if any cancelled waiter had consumed or leaked a
+// token, the final tally could not come out to exactly burst grants.
+func TestRateLimiterWaitConcurrentCancelNoLeak(t *testing.T) {
+	const burst = 4
+	rl, err := NewRateLimiter(1, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	now := base
+	var mu sync.Mutex
+	rl.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	for i := 0; i < burst; i++ {
+		if ok, _ := rl.Allow("k"); !ok {
+			t.Fatalf("burst token %d missing", i)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, 2*burst)
+	for i := 0; i < 2*burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = rl.Wait(ctx, "k") // clock frozen: no refill, all park
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter %d returned %v", i, err)
+		}
+	}
+	// Advance exactly burst seconds: the bucket refills to full and not a
+	// token more. burst Allows succeed, the next fails — proof the eight
+	// cancelled waiters neither consumed nor leaked anything.
+	mu.Lock()
+	now = base.Add(burst * time.Second)
+	mu.Unlock()
+	for i := 0; i < burst; i++ {
+		if ok, _ := rl.Allow("k"); !ok {
+			t.Fatalf("refilled token %d missing after concurrent cancel", i)
+		}
+	}
+	if ok, _ := rl.Allow("k"); ok {
+		t.Fatal("bucket over-refilled: a cancelled waiter leaked a token")
 	}
 }

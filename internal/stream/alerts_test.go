@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAlertLogReplayAndDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alerts.jsonl")
+	log, err := OpenAlertLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok, err := log.Append(Alert{Kind: KindNewDevice, Key: "device/1", Hour: 0, Device: 1})
+	if err != nil || !ok || a1.ID != 1 {
+		t.Fatalf("first append: %+v, %v, %v", a1, ok, err)
+	}
+	if _, ok, err := log.Append(Alert{Kind: KindNewDevice, Key: "device/2", Hour: 1, Device: 2}); err != nil || !ok {
+		t.Fatal(err)
+	}
+	if _, ok, _ := log.Append(Alert{Kind: KindNewDevice, Key: "device/1", Hour: 3, Device: 1}); ok {
+		t.Fatal("duplicate key emitted")
+	}
+	if log.Suppressed() != 1 {
+		t.Fatalf("suppressed = %d", log.Suppressed())
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a partial trailing line; replay truncates
+	// it and the journal stays usable.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":3,"kind":"new-de`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	log, err = OpenAlertLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if log.Len() != 2 {
+		t.Fatalf("replayed %d alerts, want 2", log.Len())
+	}
+	a3, ok, err := log.Append(Alert{Kind: KindDoSSpike, Key: "dos/h4", Hour: 4, Packets: 99})
+	if err != nil || !ok || a3.ID != 3 {
+		t.Fatalf("post-replay append: %+v, %v, %v", a3, ok, err)
+	}
+	since := log.Since(1)
+	if len(since) != 2 || since[0].Key != "device/2" || since[1].Key != "dos/h4" {
+		t.Fatalf("Since(1) = %+v", since)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 3 {
+		t.Fatalf("journal has %d complete lines, want 3", lines)
+	}
+}
+
+func TestHubOverflowClosesSubscriber(t *testing.T) {
+	hub := NewHub(nil)
+	ch, cancel := hub.Subscribe(1)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, _, err := hub.Emit(Alert{Kind: KindNewDevice, Key: "device/" + string(rune('a'+i)), Hour: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffer 1: the first alert is buffered, the second overflows and the
+	// channel closes after it.
+	if a, open := <-ch; !open || a.ID != 1 {
+		t.Fatalf("first receive: %+v, open %v", a, open)
+	}
+	if _, open := <-ch; open {
+		t.Fatal("overflowed subscription still open")
+	}
+	if hub.Subscribers() != 0 {
+		t.Fatalf("%d subscribers after overflow", hub.Subscribers())
+	}
+	// The dropped client recovers the gap from the log.
+	if missed := hub.Since(1); len(missed) != 2 {
+		t.Fatalf("Since(1) = %d alerts, want 2", len(missed))
+	}
+}
+
+func TestServeListLongPoll(t *testing.T) {
+	hub := NewHub(nil)
+	srv := httptest.NewServer(http.HandlerFunc(hub.ServeList))
+	defer srv.Close()
+	if _, _, err := hub.Emit(Alert{Kind: KindNewDevice, Key: "device/7", Hour: 0, Device: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(url string) (alerts []Alert, latest uint64) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Alerts []Alert `json:"alerts"`
+			Latest uint64  `json:"latest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Alerts, body.Latest
+	}
+
+	alerts, latest := get(srv.URL + "?since=0")
+	if len(alerts) != 1 || alerts[0].Device != 7 || latest != 1 {
+		t.Fatalf("backlog: %+v latest %d", alerts, latest)
+	}
+
+	// Long-poll: a request past the backlog parks until the next emit.
+	type polled struct {
+		alerts []Alert
+		latest uint64
+	}
+	got := make(chan polled, 1)
+	go func() {
+		a, l := get(srv.URL + "?since=1&wait=10s")
+		got <- polled{a, l}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+	if _, _, err := hub.Emit(Alert{Kind: KindDoSSpike, Key: "dos/h2", Hour: 2, Packets: 10}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if len(p.alerts) != 1 || p.alerts[0].Kind != KindDoSSpike || p.latest != 2 {
+			t.Fatalf("long-poll result: %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke")
+	}
+
+	// A bad wait duration is a 400, not a hang.
+	resp, err := http.Get(srv.URL + "?wait=forever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait: status %d", resp.StatusCode)
+	}
+}
+
+func TestServeStreamSSEResume(t *testing.T) {
+	hub := NewHub(nil)
+	srv := httptest.NewServer(http.HandlerFunc(hub.ServeStream))
+	defer srv.Close()
+	for i := 1; i <= 2; i++ {
+		if _, _, err := hub.Emit(Alert{Kind: KindNewDevice, Key: "device/" + string(rune('0'+i)), Hour: i, Device: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reconnect with Last-Event-ID 1: event 2 replays from the backlog,
+	// event 3 arrives live.
+	req, err := http.NewRequest("GET", srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan Alert, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				var a Alert
+				if json.Unmarshal([]byte(data), &a) == nil {
+					events <- a
+				}
+			}
+		}
+	}()
+
+	expect := func(id uint64) Alert {
+		t.Helper()
+		select {
+		case a := <-events:
+			if a.ID != id {
+				t.Fatalf("event id %d, want %d", a.ID, id)
+			}
+			return a
+		case <-time.After(5 * time.Second):
+			t.Fatalf("event %d never arrived", id)
+			return Alert{}
+		}
+	}
+	expect(2)
+	if _, _, err := hub.Emit(Alert{Kind: KindNewCampaign, Key: "campaign/p23", Hour: 3, Ports: []uint16{23}}); err != nil {
+		t.Fatal(err)
+	}
+	if a := expect(3); a.Kind != KindNewCampaign {
+		t.Fatalf("live event: %+v", a)
+	}
+}

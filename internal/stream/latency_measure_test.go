@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"iotscope/internal/correlate"
+	"iotscope/internal/flowtuple"
+)
+
+// TestMeasureAlertLatency times the path from "hour file lands complete
+// on disk" to "alert delivered to a subscriber" — the number quoted in
+// docs/STREAMING.md. It is a measurement helper, not an assertion, so it
+// only runs when asked:
+//
+//	MEASURE=1 go test -run TestMeasureAlertLatency -v ./internal/stream
+func TestMeasureAlertLatency(t *testing.T) {
+	if os.Getenv("MEASURE") == "" {
+		t.Skip("measurement helper; set MEASURE=1")
+	}
+	for _, poll := range []time.Duration{200 * time.Millisecond, 50 * time.Millisecond} {
+		dir, ds, cfg := genDataset(t, 31, 3)
+		path := flowtuple.HourPath(dir, 1)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		hub := NewHub(nil)
+		col, err := New(Config{Dir: dir, Poll: poll}, func() (*correlate.Incremental, error) {
+			return ds.NewIncremental(cfg)
+		}, hub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, unsub := hub.Subscribe(4096)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- col.Run(ctx) }()
+		waitFor(t, "present hours sealed", func() bool {
+			return col.Stats().WindowsSealed >= 2
+		})
+	drained:
+		for {
+			select {
+			case <-ch:
+			default:
+				break drained
+			}
+		}
+		start := time.Now()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.After(15 * time.Second)
+	await:
+		for {
+			select {
+			case a := <-ch:
+				if a.Hour == 1 {
+					t.Logf("poll=%v file-complete-to-alert latency=%v", poll, time.Since(start))
+					break await
+				}
+			case <-deadline:
+				t.Fatal("no hour-1 alert")
+			}
+		}
+		cancel()
+		<-done
+		unsub()
+	}
+}

@@ -1,0 +1,662 @@
+// Package stream turns the batch correlator into a long-lived, crash-safe
+// streaming collector: it tails arriving flowtuple data and feeds the
+// incremental engine record-batch by record-batch, without waiting for
+// hour boundaries.
+//
+// Event time is hour-granular (records carry no timestamps; the hour is
+// the file's identity), so the watermark is an hour number: it trails the
+// newest observed hour by a configurable lateness allowance. Hours at or
+// ahead of the watermark accumulate in open windows; when the watermark
+// passes a window it is sealed — finalized into the result, its alerts
+// derived and journaled, and a checkpoint written. Records that surface
+// behind the watermark are never merged and never silently dropped: they
+// land in a bounded late buffer and are counted, and an hour that first
+// appears behind the watermark is quarantined.
+//
+// Crash safety is the seal ordering: seal (in memory) → alert journal
+// append (durable, deduplicated by key) → checkpoint write (atomic). A
+// crash at any point resumes from the last checkpoint, re-tails the
+// unsealed hours, re-derives their alerts deterministically, and the
+// journal's key dedup suppresses any alert that already became durable —
+// alerts are exactly-once across kill-and-restart, and the resumed
+// checkpoint converges to the byte-identical state a never-killed run
+// produces. A supervisor restarts a crashed ingest loop under
+// pipeline.RetryPolicy with jittered backoff.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iotscope/internal/campaign"
+	"iotscope/internal/classify"
+	"iotscope/internal/correlate"
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/pipeline"
+	"iotscope/internal/resultstore"
+)
+
+// ErrLateArrival marks an hour that first appeared behind the watermark:
+// its window has irrevocably closed, so the hour is quarantined. It wraps
+// flowtuple.ErrBadFormat (permanent, not retryable) so the incremental
+// engine's fault taxonomy treats it like any other unrecoverable hour.
+var ErrLateArrival = fmt.Errorf("stream: hour surfaced behind the watermark: %w", flowtuple.ErrBadFormat)
+
+// Config parameterizes a Collector.
+type Config struct {
+	// Dir is the dataset directory being tailed.
+	Dir string
+	// CheckpointPath, when set, persists the incremental state there after
+	// every sealed window (and every quarantine), atomically.
+	CheckpointPath string
+	// Poll is the directory sweep interval (default 200ms).
+	Poll time.Duration
+	// Lateness is how many hours the watermark trails the newest observed
+	// hour (default 1). Larger values tolerate more out-of-order arrival;
+	// smaller values seal — and alert — sooner.
+	Lateness int
+	// BatchLen is the record batch size fed to windows (default
+	// flowtuple.BatchSize).
+	BatchLen int
+	// Buffer is the event channel capacity between tailer and ingest loop
+	// (default 64 events). This is the backpressure bound: a full channel
+	// blocks the tailer, or sheds when Shed is set.
+	Buffer int
+	// Shed makes a full event channel drop record batches (counted in
+	// Stats, re-offered next poll) instead of blocking the tailer.
+	Shed bool
+	// LateBuffer bounds how many late records are retained for inspection
+	// (default 4096); beyond it the oldest are dropped and counted.
+	LateBuffer int
+	// DoSAlarm is the dos-spike alert threshold as a multiple of the
+	// running median backscatter hour (default 8; negative disables).
+	DoSAlarm float64
+	// Campaigns enables new-campaign alerts (a campaign.Detect pass per
+	// sealed window).
+	Campaigns bool
+	// Drain makes the collector exit cleanly once a full sweep finds
+	// nothing new, force-sealing any still-open windows first.
+	Drain bool
+	// Supervisor governs ingest-loop restarts after a crash. Defaults: 3
+	// restarts, 500ms base backoff (jittered, doubling), any error
+	// restartable.
+	Supervisor pipeline.RetryPolicy
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	if cfg.Lateness <= 0 {
+		cfg.Lateness = 1
+	}
+	if cfg.BatchLen <= 0 {
+		cfg.BatchLen = flowtuple.BatchSize
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	if cfg.LateBuffer <= 0 {
+		cfg.LateBuffer = 4096
+	}
+	if cfg.DoSAlarm == 0 {
+		cfg.DoSAlarm = 8
+	}
+	if cfg.Supervisor.MaxRetries == 0 {
+		cfg.Supervisor.MaxRetries = 3
+	}
+	if cfg.Supervisor.BaseBackoff == 0 {
+		cfg.Supervisor.BaseBackoff = 500 * time.Millisecond
+	}
+	if cfg.Supervisor.Retryable == nil {
+		cfg.Supervisor.Retryable = func(error) bool { return true }
+	}
+	return cfg
+}
+
+// Opener constructs a fresh Incremental reflecting the current durable
+// state — typically core.Dataset.RestoreIncremental from the checkpoint at
+// Config.CheckpointPath, or NewIncremental when none exists. It is called
+// once per ingest-loop start, so a supervisor restart re-reads whatever
+// the crashed loop last checkpointed. The Incremental must be Lenient:
+// the collector quarantines corrupt and late hours through the lenient
+// fault path.
+type Opener func() (*correlate.Incremental, error)
+
+// LateRecord is a record that surfaced behind the watermark, retained in
+// the bounded late buffer.
+type LateRecord struct {
+	Hour int
+	Rec  flowtuple.Record
+}
+
+// Stats is a snapshot of collector counters. Counters are cumulative
+// across supervisor restarts; gauges (OpenWindows, MaxHour, Watermark)
+// reflect the current ingest loop.
+type Stats struct {
+	RecordsIngested    uint64
+	BatchesIngested    uint64
+	WindowsSealed      int
+	WindowsPartial     int
+	HoursQuarantined   int
+	LateHours          int
+	LateRecords        uint64
+	LateBuffered       int
+	LateDropped        uint64
+	LateBytes          int64
+	ShedBatches        uint64
+	ShedRecords        uint64
+	Restarts           int
+	AlertsEmitted      uint64
+	AlertsSuppressed   uint64
+	CheckpointWrites   uint64
+	CheckpointFailures uint64
+	MaxHour            int
+	Watermark          int
+	OpenWindows        int
+}
+
+// Collector is the streaming ingestion engine: one tailer goroutine
+// feeding one ingest-loop goroutine through a bounded channel, supervised
+// by Run.
+type Collector struct {
+	cfg  Config
+	open Opener
+	hub  *Hub
+
+	mu      sync.Mutex
+	stats   Stats
+	lateBuf []LateRecord
+
+	// failpoint, when set by a test before Run, is invoked at the named
+	// crash points of the seal sequence ("sealed", "alerted",
+	// "checkpointed", "quarantined"); a returned error kills the ingest
+	// loop there, exactly like a crash, and the supervisor takes over.
+	failpoint func(point string, hour int) error
+}
+
+// New validates the configuration and builds a Collector. hub may be nil
+// for a private, memory-only alert hub.
+func New(cfg Config, open Opener, hub *Hub) (*Collector, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("stream: no dataset directory")
+	}
+	if open == nil {
+		return nil, fmt.Errorf("stream: nil opener")
+	}
+	if hub == nil {
+		hub = NewHub(nil)
+	}
+	return &Collector{cfg: cfg.withDefaults(), open: open, hub: hub}, nil
+}
+
+// Hub returns the alert hub serving this collector's alerts.
+func (c *Collector) Hub() *Hub { return c.hub }
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.LateBuffered = len(c.lateBuf)
+	return s
+}
+
+// Late returns a copy of the late-record buffer (newest last).
+func (c *Collector) Late() []LateRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]LateRecord(nil), c.lateBuf...)
+}
+
+// Run tails the dataset until ctx is done (clean stop, nil) or — in Drain
+// mode — until a sweep finds nothing left to do. A crashed ingest loop
+// (error or panic) is restarted under the Supervisor policy with jittered
+// backoff, re-opening the incremental state from the checkpoint; when the
+// restart budget is exhausted the last error is returned.
+func (c *Collector) Run(ctx context.Context) error {
+	restarts := 0
+	for {
+		err := c.runOnce(ctx)
+		if ctx.Err() != nil {
+			return nil // interrupted: a clean stop, state is checkpointed
+		}
+		if err == nil {
+			return nil // drained
+		}
+		if !c.cfg.Supervisor.ShouldRetry(err, restarts) {
+			return err
+		}
+		restarts++
+		c.mu.Lock()
+		c.stats.Restarts++
+		c.mu.Unlock()
+		fmt.Fprintf(os.Stderr, "stream: ingest loop crashed (%v); restart %d/%d\n",
+			err, restarts, c.cfg.Supervisor.MaxRetries)
+		if pipeline.Sleep(ctx, c.cfg.Supervisor.JitteredDelay(restarts)) != nil {
+			return nil
+		}
+	}
+}
+
+// ingest is the per-run (per-restart) state of the ingest loop.
+type ingest struct {
+	inc      *correlate.Incremental
+	windows  map[int]*correlate.Window
+	sealed   map[int]bool // ingested, quarantined, or window sealed
+	maxHour  int
+	bsHours  []float64 // positive backscatter hours, for the DoS median
+	finished bool
+}
+
+func (st *ingest) watermark(lateness int) int { return st.maxHour - lateness }
+
+func (c *Collector) runOnce(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("stream: ingest loop panicked: %v", r)
+		}
+	}()
+	inc, err := c.open()
+	if err != nil {
+		return fmt.Errorf("stream: open incremental: %w", err)
+	}
+	st := &ingest{
+		inc:     inc,
+		windows: make(map[int]*correlate.Window),
+		sealed:  make(map[int]bool),
+		maxHour: -1,
+	}
+	// Hours settled in the checkpoint are never re-tailed, and the
+	// watermark resumes at least past them.
+	skip := make(map[int]bool)
+	for _, h := range inc.IngestedHours() {
+		st.sealed[h], skip[h] = true, true
+		if h > st.maxHour {
+			st.maxHour = h
+		}
+	}
+	for _, h := range inc.QuarantinedHours() {
+		st.sealed[h], skip[h] = true, true
+		if h > st.maxHour {
+			st.maxHour = h
+		}
+	}
+	st.bsHours = rebuildBsHours(inc)
+	c.mu.Lock()
+	c.stats.MaxHour = st.maxHour
+	c.stats.Watermark = st.watermark(c.cfg.Lateness)
+	c.stats.OpenWindows = 0
+	c.mu.Unlock()
+
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	events := make(chan event, c.cfg.Buffer)
+	tl := newTailer(c.cfg.Dir, c.cfg.BatchLen, c.cfg.Poll, c.cfg.Shed, skip, events, c.noteShed)
+	done := make(chan struct{})
+	var tailErr error
+	go func() {
+		defer close(done)
+		tailErr = tl.run(tctx)
+	}()
+
+	for {
+		select {
+		case ev := <-events:
+			if err := c.handle(st, ev); err != nil {
+				cancel()
+				<-done
+				return err
+			}
+			if st.finished {
+				cancel()
+				<-done
+				return nil
+			}
+		case <-done:
+			for {
+				select {
+				case ev := <-events:
+					if err := c.handle(st, ev); err != nil {
+						return err
+					}
+					if st.finished {
+						return nil
+					}
+				default:
+					return tailErr
+				}
+			}
+		case <-ctx.Done():
+			cancel()
+			<-done
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *Collector) handle(st *ingest, ev event) error {
+	switch ev.kind {
+	case evRecords:
+		if err := c.observeHour(st, ev.hour); err != nil {
+			return err
+		}
+		if st.sealed[ev.hour] || ev.hour < st.watermark(c.cfg.Lateness) {
+			return c.late(st, ev.hour, ev.recs)
+		}
+		w := st.windows[ev.hour]
+		if w == nil {
+			var err error
+			if w, err = st.inc.OpenWindow(ev.hour); err != nil {
+				return err
+			}
+			st.windows[ev.hour] = w
+			c.mu.Lock()
+			c.stats.OpenWindows = len(st.windows)
+			c.mu.Unlock()
+		}
+		if err := w.Feed(ev.recs); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.stats.RecordsIngested += uint64(len(ev.recs))
+		c.stats.BatchesIngested++
+		c.mu.Unlock()
+		return nil
+
+	case evComplete:
+		if err := c.observeHour(st, ev.hour); err != nil {
+			return err
+		}
+		if st.sealed[ev.hour] {
+			return nil // completed after a watermark partial-seal
+		}
+		w := st.windows[ev.hour]
+		if w == nil {
+			if ev.hour < st.watermark(c.cfg.Lateness) {
+				return c.late(st, ev.hour, nil) // a whole hour arriving late
+			}
+			var err error
+			if w, err = st.inc.OpenWindow(ev.hour); err != nil {
+				return err // an empty hour still seals (and checkpoints)
+			}
+		}
+		return c.seal(st, ev.hour, w, false)
+
+	case evCorrupt:
+		if err := c.observeHour(st, ev.hour); err != nil {
+			return err
+		}
+		if st.sealed[ev.hour] {
+			return nil // damage after the seal; nothing left to protect
+		}
+		return c.quarantine(st, ev.hour, ev.err)
+
+	case evLateGrowth:
+		c.mu.Lock()
+		c.stats.LateBytes += ev.bytes
+		c.mu.Unlock()
+		return nil
+
+	case evSweep:
+		if c.cfg.Drain && !ev.progressed {
+			for _, h := range sortedHours(st.windows) {
+				if err := c.seal(st, h, st.windows[h], true); err != nil {
+					return err
+				}
+			}
+			st.finished = true
+		}
+		return nil
+	}
+	return fmt.Errorf("stream: unknown event kind %d", ev.kind)
+}
+
+// observeHour advances the watermark for a newly seen hour, partial-
+// sealing every open window it passes, in hour order.
+func (c *Collector) observeHour(st *ingest, h int) error {
+	if h <= st.maxHour {
+		return nil
+	}
+	st.maxHour = h
+	w := st.watermark(c.cfg.Lateness)
+	c.mu.Lock()
+	c.stats.MaxHour = h
+	c.stats.Watermark = w
+	c.mu.Unlock()
+	for _, hh := range sortedHours(st.windows) {
+		if hh >= w {
+			break
+		}
+		if err := c.seal(st, hh, st.windows[hh], true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seal closes a window with the crash-safe ordering: finalize into the
+// result, journal the window's alerts (durable, deduplicated), then
+// checkpoint. partial marks a watermark- or drain-forced seal of an hour
+// whose file had no footer yet.
+func (c *Collector) seal(st *ingest, h int, w *correlate.Window, partial bool) error {
+	ws, err := w.Seal()
+	if err != nil {
+		return err
+	}
+	delete(st.windows, h)
+	st.sealed[h] = true
+	c.mu.Lock()
+	c.stats.WindowsSealed++
+	if partial {
+		c.stats.WindowsPartial++
+	}
+	c.stats.OpenWindows = len(st.windows)
+	c.mu.Unlock()
+	if err := c.fail("sealed", h); err != nil {
+		return err
+	}
+	if err := c.emitAlerts(st, ws); err != nil {
+		return err
+	}
+	if err := c.fail("alerted", h); err != nil {
+		return err
+	}
+	c.checkpoint(st)
+	return c.fail("checkpointed", h)
+}
+
+// quarantine abandons an hour through the incremental engine's lenient
+// fault path and persists that decision.
+func (c *Collector) quarantine(st *ingest, h int, cause error) error {
+	if w := st.windows[h]; w != nil {
+		w.Abort()
+		delete(st.windows, h)
+	}
+	st.inc.FailHour(h, cause)
+	st.sealed[h] = true
+	c.mu.Lock()
+	c.stats.OpenWindows = len(st.windows)
+	if st.inc.Quarantined(h) {
+		c.stats.HoursQuarantined++
+	}
+	c.mu.Unlock()
+	c.checkpoint(st)
+	return c.fail("quarantined", h)
+}
+
+// late handles records (possibly none) for an hour behind the watermark:
+// the hour is quarantined on first late appearance, and the records are
+// counted and retained in the bounded buffer — never silently dropped.
+func (c *Collector) late(st *ingest, h int, recs []flowtuple.Record) error {
+	if !st.sealed[h] {
+		c.mu.Lock()
+		c.stats.LateHours++
+		c.mu.Unlock()
+		if err := c.quarantine(st, h, ErrLateArrival); err != nil {
+			return err
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	c.stats.LateRecords += uint64(len(recs))
+	for _, rec := range recs {
+		if len(c.lateBuf) >= c.cfg.LateBuffer {
+			drop := len(c.lateBuf) - c.cfg.LateBuffer + 1
+			c.lateBuf = c.lateBuf[drop:]
+			c.stats.LateDropped += uint64(drop)
+		}
+		c.lateBuf = append(c.lateBuf, LateRecord{Hour: h, Rec: rec})
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// emitAlerts derives and journals a sealed window's alerts. Derivation is
+// deterministic given the checkpointed state, which is what makes resume
+// re-derivation + key dedup add up to exactly-once.
+func (c *Collector) emitAlerts(st *ingest, ws correlate.WindowStats) error {
+	for _, id := range ws.Fresh {
+		if err := c.emit(Alert{
+			Kind: KindNewDevice, Key: fmt.Sprintf("device/%d", id),
+			Hour: ws.Hour, Device: id,
+		}); err != nil {
+			return err
+		}
+	}
+	if c.cfg.DoSAlarm > 0 && ws.Backscatter > 0 {
+		if med := median(st.bsHours); med > 0 && float64(ws.Backscatter) > c.cfg.DoSAlarm*med {
+			if err := c.emit(Alert{
+				Kind: KindDoSSpike, Key: fmt.Sprintf("dos/h%d", ws.Hour),
+				Hour: ws.Hour, Packets: ws.Backscatter,
+				Ratio: float64(ws.Backscatter) / med,
+			}); err != nil {
+				return err
+			}
+		}
+		st.bsHours = append(st.bsHours, float64(ws.Backscatter))
+	}
+	if c.cfg.Campaigns {
+		camps, err := campaign.Detect(st.inc.Result(), campaign.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		for _, cp := range camps {
+			if err := c.emit(Alert{
+				Kind: KindNewCampaign, Key: campaignKey(cp.Ports),
+				Hour: ws.Hour, Devices: cp.Devices, Ports: cp.Ports,
+				Packets: cp.Packets,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Collector) emit(a Alert) error {
+	_, emitted, err := c.hub.Emit(a)
+	if err != nil {
+		return err // the journal is the durability contract; crash and retry
+	}
+	c.mu.Lock()
+	if emitted {
+		c.stats.AlertsEmitted++
+	} else {
+		c.stats.AlertsSuppressed++
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// checkpoint persists the incremental state atomically. Failures are
+// counted and logged, not fatal: the next seal retries, and until one
+// lands a crash merely replays more work.
+func (c *Collector) checkpoint(st *ingest) {
+	if c.cfg.CheckpointPath == "" {
+		return
+	}
+	err := resultstore.WriteCheckpoint(c.cfg.CheckpointPath, st.inc.Export())
+	c.mu.Lock()
+	if err != nil {
+		c.stats.CheckpointFailures++
+	} else {
+		c.stats.CheckpointWrites++
+	}
+	c.mu.Unlock()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stream: checkpoint failed: %v\n", err)
+	}
+}
+
+func (c *Collector) fail(point string, hour int) error {
+	if c.failpoint == nil {
+		return nil
+	}
+	return c.failpoint(point, hour)
+}
+
+func (c *Collector) noteShed(batches, records int) {
+	c.mu.Lock()
+	c.stats.ShedBatches += uint64(batches)
+	c.stats.ShedRecords += uint64(records)
+	c.mu.Unlock()
+}
+
+// rebuildBsHours reconstructs the DoS-median history from the checkpointed
+// result: one entry per ingested hour with positive backscatter — exactly
+// what the live loop appended, so an alarm decision after resume matches
+// the uninterrupted run (the median is order-independent).
+func rebuildBsHours(inc *correlate.Incremental) []float64 {
+	bsIdx := classify.Backscatter.Index()
+	res := inc.Result()
+	var bs []float64
+	for _, h := range inc.IngestedHours() {
+		hs := res.Hourly[h]
+		var v uint64
+		for ci := range hs.PerCat {
+			v += hs.PerCat[ci].Packets[bsIdx]
+		}
+		if v > 0 {
+			bs = append(bs, float64(v))
+		}
+	}
+	return bs
+}
+
+func sortedHours(windows map[int]*correlate.Window) []int {
+	hours := make([]int, 0, len(windows))
+	for h := range windows {
+		hours = append(hours, h)
+	}
+	sort.Ints(hours)
+	return hours
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	dup := append([]float64(nil), xs...)
+	sort.Float64s(dup)
+	if n := len(dup); n%2 == 1 {
+		return dup[n/2]
+	} else {
+		return (dup[n/2-1] + dup[n/2]) / 2
+	}
+}
+
+func campaignKey(ports []uint16) string {
+	parts := make([]string, len(ports))
+	for i, p := range ports {
+		parts[i] = fmt.Sprint(p)
+	}
+	return "campaign/p" + strings.Join(parts, "-")
+}

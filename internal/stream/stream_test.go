@@ -1,0 +1,517 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"maps"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"iotscope/internal/core"
+	"iotscope/internal/correlate"
+	"iotscope/internal/faultfs"
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/pipeline"
+	"iotscope/internal/resultstore"
+)
+
+// genDataset generates a synthetic dataset and returns its directory, the
+// opened dataset, and a lenient analysis config — the same construction
+// the iotwatch CLI uses.
+func genDataset(t *testing.T, seed uint64, hours int) (string, *core.Dataset, core.Config) {
+	t.Helper()
+	dir := t.TempDir()
+	gcfg := core.DefaultConfig(0.002, seed)
+	gcfg.Hours = hours
+	if _, err := core.Generate(gcfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := core.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(ds.Scenario.Scale, ds.Scenario.Seed)
+	cfg.Lenient = true
+	return dir, ds, cfg
+}
+
+// checkpointOpener is the production resume discipline: restore from the
+// checkpoint when one exists, cold-start otherwise.
+func checkpointOpener(ds *core.Dataset, cfg core.Config, ckpt string) Opener {
+	return func() (*correlate.Incremental, error) {
+		if ckpt != "" {
+			cp, err := resultstore.ReadCheckpoint(ckpt)
+			if err == nil {
+				return ds.RestoreIncremental(cfg, cp)
+			}
+			if !errors.Is(err, fs.ErrNotExist) {
+				return nil, err
+			}
+		}
+		return ds.NewIncremental(cfg)
+	}
+}
+
+// batchCheckpoint runs the classic hour-at-a-time batch ingest over the
+// given hours and returns the resulting checkpoint bytes — the oracle the
+// streamed checkpoint must match byte for byte.
+func batchCheckpoint(t *testing.T, ds *core.Dataset, cfg core.Config, dir string, hours ...int) []byte {
+	t.Helper()
+	inc, err := ds.NewIncremental(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hours {
+		if _, err := inc.Ingest(context.Background(), dir, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "oracle.irs")
+	if err := resultstore.WriteCheckpoint(path, inc.Export()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func countRecords(t *testing.T, path string) int {
+	t.Helper()
+	rd, err := flowtuple.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	buf := make([]flowtuple.Record, flowtuple.BatchSize)
+	total := 0
+	for {
+		n, err := rd.NextBatch(buf)
+		total += n
+		if err == io.EOF {
+			return total
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDrainMatchesBatch: streaming a complete dataset in drain mode must
+// converge to a checkpoint byte-identical to the batch pipeline's, with
+// exactly one new-device alert per discovered device.
+func TestDrainMatchesBatch(t *testing.T) {
+	dir, ds, cfg := genDataset(t, 21, 6)
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.irs")
+	log, err := OpenAlertLog(filepath.Join(t.TempDir(), "alerts.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Dir: dir, CheckpointPath: ckpt, Poll: 2 * time.Millisecond,
+		Drain: true, Campaigns: true,
+	}, checkpointOpener(ds, cfg, ckpt), NewHub(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.WindowsSealed != 6 || st.WindowsPartial != 0 || st.RecordsIngested == 0 {
+		t.Fatalf("implausible stream stats: %+v", st)
+	}
+	got, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchCheckpoint(t, ds, cfg, dir, 0, 1, 2, 3, 4, 5); !bytes.Equal(got, want) {
+		t.Fatal("streamed checkpoint diverged from batch ingest")
+	}
+	// Exactly one new-device alert per device the batch result knows.
+	cp, err := resultstore.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ds.RestoreIncremental(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devAlerts := 0
+	for _, a := range log.Since(0) {
+		if a.Kind == KindNewDevice {
+			devAlerts++
+		}
+	}
+	if want := len(inc.Result().Devices); devAlerts != want {
+		t.Fatalf("%d new-device alerts for %d devices", devAlerts, want)
+	}
+	// Suppressions may legitimately occur (a campaign re-detected in a
+	// later window), but everything emitted must be in the journal.
+	if st.AlertsEmitted != uint64(log.Len()) {
+		t.Fatalf("alert accounting: %+v vs log %d", st, log.Len())
+	}
+}
+
+// TestChaosKillRestartExactlyOnce is the headline chaos proof: the ingest
+// loop is crashed twice at the nastiest points of the seal sequence —
+// once after alerts became durable but before the checkpoint, once after
+// the in-memory seal but before alerts — and the supervised, resumed run
+// must still converge to the byte-identical checkpoint of an uninterrupted
+// run with every alert key emitted exactly once.
+func TestChaosKillRestartExactlyOnce(t *testing.T) {
+	dir, ds, cfg := genDataset(t, 22, 6)
+
+	run := func(failpoint func(string, int) error) (Stats, *AlertLog, []byte, string) {
+		t.Helper()
+		stateDir := t.TempDir()
+		ckpt := filepath.Join(stateDir, "checkpoint.irs")
+		alog := filepath.Join(stateDir, "alerts.jsonl")
+		log, err := OpenAlertLog(alog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(Config{
+			Dir: dir, CheckpointPath: ckpt, Poll: time.Millisecond, Drain: true,
+			Supervisor: pipeline.RetryPolicy{
+				MaxRetries:  8,
+				BaseBackoff: time.Millisecond,
+				Retryable:   func(error) bool { return true },
+			},
+		}, checkpointOpener(ds, cfg, ckpt), NewHub(log))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.failpoint = failpoint
+		if err := c.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats(), log, data, alog
+	}
+
+	_, wantLog, wantCkpt, _ := run(nil)
+
+	killed := map[string]bool{}
+	st, gotLog, gotCkpt, alogPath := run(func(point string, hour int) error {
+		k := fmt.Sprintf("%s/%d", point, hour)
+		if (k == "alerted/0" || k == "sealed/3") && !killed[k] {
+			killed[k] = true
+			return fmt.Errorf("injected crash at %s", k)
+		}
+		return nil
+	})
+	if st.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", st.Restarts)
+	}
+	if st.AlertsSuppressed == 0 {
+		t.Fatal("resume re-derived no alerts — the dedup path went unexercised")
+	}
+	if !bytes.Equal(gotCkpt, wantCkpt) {
+		t.Fatal("chaos-run checkpoint diverged from the uninterrupted run")
+	}
+	keysOf := func(l *AlertLog) map[string]int {
+		m := map[string]int{}
+		for _, a := range l.Since(0) {
+			m[a.Key]++
+		}
+		return m
+	}
+	got, want := keysOf(gotLog), keysOf(wantLog)
+	for k, n := range got {
+		if n != 1 {
+			t.Fatalf("alert %q emitted %d times", k, n)
+		}
+	}
+	if !maps.Equal(got, want) {
+		t.Fatalf("alert key sets diverged: %d chaos vs %d clean", len(got), len(want))
+	}
+	// The durable journal replays to the same exactly-once state.
+	replayed, err := OpenAlertLog(alogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.Close()
+	if !maps.Equal(keysOf(replayed), want) {
+		t.Fatal("journal replay diverged from the live log")
+	}
+}
+
+// TestLateArrivalQuarantinedNotDropped: an hour that first surfaces behind
+// the watermark is quarantined (persisted in the checkpoint) and every one
+// of its records is accounted for — buffered or counted as dropped, never
+// silently discarded.
+func TestLateArrivalQuarantinedNotDropped(t *testing.T) {
+	dir, ds, cfg := genDataset(t, 23, 5)
+	latePath := flowtuple.HourPath(dir, 1)
+	held, err := os.ReadFile(latePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(latePath); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.irs")
+	c, err := New(Config{
+		Dir: dir, CheckpointPath: ckpt, Poll: time.Millisecond, LateBuffer: 8,
+	}, checkpointOpener(ds, cfg, ckpt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+	waitFor(t, "present hours to seal", func() bool { return c.Stats().WindowsSealed == 4 })
+
+	// Hour 1 lands only now — behind the watermark (maxHour 4, lateness 1).
+	if err := os.WriteFile(latePath, held, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := countRecords(t, latePath)
+	waitFor(t, "late records to be counted", func() bool {
+		s := c.Stats()
+		return s.LateHours == 1 && s.LateRecords == uint64(n)
+	})
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.Stats()
+	if int(s.LateDropped)+s.LateBuffered != n {
+		t.Fatalf("late records leak: dropped %d + buffered %d != %d", s.LateDropped, s.LateBuffered, n)
+	}
+	if s.LateDropped == 0 || s.LateBuffered != 8 {
+		t.Fatalf("late buffer bound not exercised: %+v (hour has %d records)", s, n)
+	}
+	for _, lr := range c.Late() {
+		if lr.Hour != 1 {
+			t.Fatalf("late buffer holds hour %d", lr.Hour)
+		}
+	}
+	cp, err := resultstore.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ds.RestoreIncremental(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Quarantined(1) {
+		t.Fatal("late hour not quarantined in the checkpoint")
+	}
+	for _, h := range []int{0, 2, 3, 4} {
+		if !inc.Ingested(h) {
+			t.Fatalf("hour %d missing from the checkpoint", h)
+		}
+	}
+}
+
+// TestSlowGrowTailing drives the faultfs.Grower fault mode: an hour file
+// revealed a few hundred bytes at a time must be ingested incrementally —
+// each published prefix read exactly once via the cursor — and still
+// converge to the batch-identical checkpoint once the footer lands.
+func TestSlowGrowTailing(t *testing.T) {
+	dir, ds, cfg := genDataset(t, 24, 2)
+	grownPath := flowtuple.HourPath(dir, 1)
+	full, err := os.ReadFile(grownPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := faultfs.NewGrower(grownPath, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.irs")
+	c, err := New(Config{
+		Dir: dir, CheckpointPath: ckpt, Poll: time.Millisecond, BatchLen: 32,
+	}, checkpointOpener(ds, cfg, ckpt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+	waitFor(t, "the complete hour to seal", func() bool { return c.Stats().WindowsSealed == 1 })
+
+	for !g.Done() {
+		if _, err := g.Grow(512); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitFor(t, "the grown hour to seal", func() bool { return c.Stats().WindowsSealed == 2 })
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	total := countRecords(t, flowtuple.HourPath(dir, 0)) + countRecords(t, grownPath)
+	if got := c.Stats().RecordsIngested; got != uint64(total) {
+		t.Fatalf("ingested %d records, dataset has %d", got, total)
+	}
+	got, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := batchCheckpoint(t, ds, cfg, dir, 0, 1); !bytes.Equal(got, want) {
+		t.Fatal("slow-grown checkpoint diverged from batch ingest")
+	}
+}
+
+// TestCorruptHourQuarantined: permanent structural damage mid-file
+// quarantines just that hour; the rest of the dataset streams through and
+// the checkpoint matches a lenient batch run over the same damage.
+func TestCorruptHourQuarantined(t *testing.T) {
+	dir, ds, cfg := genDataset(t, 25, 4)
+	// A flipped gzip magic byte is deterministically permanent damage.
+	if err := faultfs.BitFlip(flowtuple.HourPath(dir, 2), 1, 0x08); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.irs")
+	c, err := New(Config{
+		Dir: dir, CheckpointPath: ckpt, Poll: time.Millisecond, Drain: true,
+	}, checkpointOpener(ds, cfg, ckpt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.HoursQuarantined != 1 {
+		t.Fatalf("quarantine stats: %+v", st)
+	}
+	cp, err := resultstore.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := ds.RestoreIncremental(cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Quarantined(2) {
+		t.Fatal("damaged hour not quarantined")
+	}
+	for _, h := range []int{0, 1, 3} {
+		if !inc.Ingested(h) {
+			t.Fatalf("healthy hour %d not ingested", h)
+		}
+	}
+}
+
+// TestShedKeepsCursorAndRecovers pins the backpressure contract at the
+// tailer level: with shedding on and a full channel, batches are dropped
+// and counted, the cursor does not advance past them, and subsequent
+// sweeps re-offer the same records so nothing is lost or duplicated.
+func TestShedKeepsCursorAndRecovers(t *testing.T) {
+	dir, _, _ := genDataset(t, 26, 1)
+	total := countRecords(t, flowtuple.HourPath(dir, 0))
+	if total <= 16 {
+		t.Fatalf("fixture too small to shed: %d records", total)
+	}
+	out := make(chan event, 1)
+	var shedBatches, shedRecords int
+	tl := newTailer(dir, 8, 0, true, map[int]bool{}, out,
+		func(b, r int) { shedBatches += b; shedRecords += r })
+	ctx := context.Background()
+
+	// Deterministic phase: one sweep against a capacity-1 channel delivers
+	// exactly one batch, sheds at least one, and parks the cursor.
+	if _, err := tl.sweep(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("%d events queued, want 1", len(out))
+	}
+	ev := <-out
+	if ev.kind != evRecords || len(ev.recs) == 0 || len(ev.recs) > 8 {
+		t.Fatalf("first event: kind %d, %d records", ev.kind, len(ev.recs))
+	}
+	first := len(ev.recs)
+	if tl.cursor[0] != uint64(first) || !tl.pending[0] {
+		t.Fatalf("cursor %d pending %v after delivering %d", tl.cursor[0], tl.pending[0], first)
+	}
+	if shedBatches == 0 || shedRecords == 0 {
+		t.Fatal("full channel shed nothing")
+	}
+
+	// Recovery phase: with a live consumer the re-offered records flow
+	// through; the total delivered must be exact — shed loses no data.
+	counted := make(chan int)
+	go func() {
+		n := 0
+		for ev := range out {
+			switch ev.kind {
+			case evRecords:
+				n += len(ev.recs)
+			case evComplete:
+				counted <- n
+				return
+			}
+		}
+	}()
+	for !tl.finished[0] {
+		if _, err := tl.sweep(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rest := <-counted; first+rest != total {
+		t.Fatalf("delivered %d of %d records across shedding", first+rest, total)
+	}
+}
+
+// TestLateGrowthCounted: bytes appended after a completed footer are
+// reported and counted, never ingested.
+func TestLateGrowthCounted(t *testing.T) {
+	dir, ds, cfg := genDataset(t, 27, 2)
+	ckpt := filepath.Join(t.TempDir(), "checkpoint.irs")
+	c, err := New(Config{
+		Dir: dir, CheckpointPath: ckpt, Poll: time.Millisecond,
+	}, checkpointOpener(ds, cfg, ckpt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+	waitFor(t, "both hours to seal", func() bool { return c.Stats().WindowsSealed == 2 })
+	// The oracle must predate the damage: batch ingest of a junk-trailed
+	// file would (rightly) reject it.
+	want := batchCheckpoint(t, ds, cfg, dir, 0, 1)
+	if err := faultfs.AppendTail(flowtuple.HourPath(dir, 0), []byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "late growth to be counted", func() bool { return c.Stats().LateBytes == 3 })
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("late growth leaked into the checkpoint")
+	}
+}

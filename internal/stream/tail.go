@@ -1,0 +1,281 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/pipeline"
+)
+
+// evKind classifies tailer events on the (bounded) channel to the ingest
+// loop.
+type evKind uint8
+
+const (
+	// evRecords carries freshly decoded records for one hour.
+	evRecords evKind = iota
+	// evComplete marks an hour whose footer has been read — the file is
+	// finished and every record was delivered.
+	evComplete
+	// evCorrupt marks an hour with permanent structural damage (or one
+	// whose readable prefix shrank beneath records already delivered).
+	evCorrupt
+	// evLateGrowth reports bytes appended to a file after its footer was
+	// observed — junk or a non-atomic late append; never ingestible.
+	evLateGrowth
+	// evSweep marks the end of one full directory pass, noting whether it
+	// made any progress. Drain mode ends on a no-progress sweep.
+	evSweep
+)
+
+type event struct {
+	kind       evKind
+	hour       int
+	recs       []flowtuple.Record
+	err        error
+	bytes      int64
+	progressed bool
+}
+
+// tailer follows the dataset directory, decoding each hour file's newly
+// appeared records and streaming them to the ingest loop without waiting
+// for hour boundaries. gzip cannot be resumed mid-stream, so every poll of
+// a grown file re-opens it and skips the records already delivered (the
+// cursor) — the cost of tailing a compressed format; only files whose size
+// changed are re-read. With shed enabled, record sends that would block
+// are dropped instead (counted via onShed) and the cursor holds, so the
+// same records are re-offered next poll: backpressure sheds work, never
+// data.
+type tailer struct {
+	dir      string
+	batchLen int
+	poll     time.Duration
+	shed     bool
+	out      chan<- event
+	onShed   func(batches, records int)
+
+	skip         map[int]bool   // settled before this run; never read
+	cursor       map[int]uint64 // records already delivered per hour
+	lastSize     map[int]int64  // size at last read, to skip unchanged files
+	pending      map[int]bool   // a shed left undelivered records behind
+	finished     map[int]bool   // footer read or hour ruled corrupt
+	finishedSize map[int]int64  // size when finished, to spot late growth
+}
+
+func newTailer(dir string, batchLen int, poll time.Duration, shed bool, skip map[int]bool, out chan<- event, onShed func(int, int)) *tailer {
+	if onShed == nil {
+		onShed = func(int, int) {}
+	}
+	return &tailer{
+		dir:          dir,
+		batchLen:     batchLen,
+		poll:         poll,
+		shed:         shed,
+		out:          out,
+		onShed:       onShed,
+		skip:         skip,
+		cursor:       make(map[int]uint64),
+		lastSize:     make(map[int]int64),
+		pending:      make(map[int]bool),
+		finished:     make(map[int]bool),
+		finishedSize: make(map[int]int64),
+	}
+}
+
+// run sweeps until ctx is done or the directory listing fails (a fatal
+// error the supervisor handles). Each sweep ends with an evSweep event.
+func (t *tailer) run(ctx context.Context) error {
+	for {
+		progressed, err := t.sweep(ctx)
+		if err != nil {
+			return err
+		}
+		if !t.send(ctx, event{kind: evSweep, progressed: progressed}) {
+			return ctx.Err()
+		}
+		if err := pipeline.Sleep(ctx, t.poll); err != nil {
+			return err
+		}
+	}
+}
+
+func (t *tailer) sweep(ctx context.Context) (bool, error) {
+	hours, err := flowtuple.DatasetHours(t.dir)
+	if err != nil {
+		return false, err
+	}
+	progressed := false
+	for _, h := range hours {
+		if err := ctx.Err(); err != nil {
+			return progressed, err
+		}
+		if t.skip[h] {
+			continue
+		}
+		p, err := t.pollHour(ctx, h)
+		progressed = progressed || p
+		if err != nil {
+			return progressed, err
+		}
+	}
+	// Records shed this sweep are still owed: the sweep has not truly
+	// stalled, so drain mode must not conclude from it.
+	for h, p := range t.pending {
+		if p && !t.finished[h] {
+			progressed = true
+			break
+		}
+	}
+	return progressed, nil
+}
+
+func (t *tailer) pollHour(ctx context.Context, h int) (bool, error) {
+	path := flowtuple.HourPath(t.dir, h)
+	info, err := os.Stat(path)
+	if err != nil {
+		return false, nil // raced away; the next sweep re-lists
+	}
+	size := info.Size()
+	if t.finished[h] {
+		if size == t.finishedSize[h] {
+			return false, nil
+		}
+		delta := size - t.finishedSize[h]
+		t.finishedSize[h] = size
+		if !t.send(ctx, event{kind: evLateGrowth, hour: h, bytes: delta}) {
+			return false, ctx.Err()
+		}
+		return true, nil
+	}
+	if size == t.lastSize[h] && !t.pending[h] {
+		return false, nil
+	}
+	t.lastSize[h] = size
+	t.pending[h] = false
+	return t.readHour(ctx, h, path)
+}
+
+func (t *tailer) readHour(ctx context.Context, h int, path string) (bool, error) {
+	r, err := flowtuple.Open(path)
+	if err != nil {
+		switch {
+		case errors.Is(err, flowtuple.ErrTruncated):
+			return false, nil // header still being written
+		case errors.Is(err, flowtuple.ErrBadFormat):
+			return true, t.corrupt(ctx, h, path, err)
+		default:
+			return false, nil // transient I/O; retry next sweep
+		}
+	}
+	defer r.Close()
+	batch := make([]flowtuple.Record, t.batchLen)
+	// Skip the cursor: records delivered on earlier polls of this file.
+	for skipped := uint64(0); skipped < t.cursor[h]; {
+		want := t.cursor[h] - skipped
+		if want > uint64(len(batch)) {
+			want = uint64(len(batch))
+		}
+		n, err := r.NextBatch(batch[:want])
+		if n == 0 {
+			// The file no longer yields records it already yielded: the
+			// readable prefix shrank or rotted under us. Growth-only is the
+			// producer contract, so this is permanent damage.
+			return true, t.corrupt(ctx, h, path, fmt.Errorf(
+				"stream: hour %d replays %d of %d delivered records (%v): %w",
+				h, skipped, t.cursor[h], err, flowtuple.ErrBadFormat))
+		}
+		skipped += uint64(n)
+	}
+	progressed := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return progressed, err
+		}
+		n, err := r.NextBatch(batch)
+		if n > 0 {
+			recs := make([]flowtuple.Record, n)
+			copy(recs, batch[:n])
+			sent, aborted := t.sendRecords(ctx, h, recs)
+			if aborted {
+				return progressed, ctx.Err()
+			}
+			if !sent {
+				// Shed: leave the cursor where it is and mark the hour
+				// pending so the next poll re-reads it even if the file has
+				// not grown.
+				t.pending[h] = true
+				return progressed, nil
+			}
+			t.cursor[h] += uint64(n)
+			progressed = true
+			continue
+		}
+		switch {
+		case err == io.EOF:
+			t.finished[h] = true
+			t.finishedSize[h] = t.lastSize[h]
+			if fi, statErr := os.Stat(path); statErr == nil {
+				t.finishedSize[h] = fi.Size()
+			}
+			if !t.send(ctx, event{kind: evComplete, hour: h}) {
+				return progressed, ctx.Err()
+			}
+			return true, nil
+		case errors.Is(err, flowtuple.ErrTruncated):
+			return progressed, nil // still growing; keep the cursor
+		default:
+			return true, t.corrupt(ctx, h, path, err)
+		}
+	}
+}
+
+// corrupt retires the hour (no further reads) and reports it to the
+// ingest loop, which quarantines it.
+func (t *tailer) corrupt(ctx context.Context, h int, path string, err error) error {
+	t.finished[h] = true
+	t.finishedSize[h] = t.lastSize[h]
+	if fi, statErr := os.Stat(path); statErr == nil {
+		t.finishedSize[h] = fi.Size()
+	}
+	if !t.send(ctx, event{kind: evCorrupt, hour: h, err: err}) {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// sendRecords delivers a record batch: blocking by default, non-blocking
+// (shed on a full channel) when shed mode is on.
+func (t *tailer) sendRecords(ctx context.Context, h int, recs []flowtuple.Record) (sent, aborted bool) {
+	ev := event{kind: evRecords, hour: h, recs: recs}
+	if t.shed {
+		select {
+		case t.out <- ev:
+			return true, false
+		default:
+			t.onShed(1, len(recs))
+			return false, false
+		}
+	}
+	select {
+	case t.out <- ev:
+		return true, false
+	case <-ctx.Done():
+		return false, true
+	}
+}
+
+// send delivers a control event; these always block — they are rare and
+// losing one would wedge the state machine.
+func (t *tailer) send(ctx context.Context, ev event) bool {
+	select {
+	case t.out <- ev:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
