@@ -15,7 +15,7 @@ RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
 	./cmd/iotwatch ./cmd/iotserve ./cmd/iotinfer ./cmd/iotreport \
 	./cmd/iotnotify
 
-.PHONY: check build test vet race fuzz bench benchall chaos
+.PHONY: check build test vet race fuzz bench benchall benchdiff chaos
 
 # The full gate: tier-1 build/test plus vet and the race suite.
 check: vet build test race
@@ -63,10 +63,18 @@ chaos:
 BENCH_DATE ?= $(shell date +%F)
 BENCH_TAG ?= dev
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineCorrelateSharded$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$' \
 		-benchmem -benchtime 2s -count 3 . \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag $(BENCH_TAG) > BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
 	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
+
+# Regression gate against the newest committed BENCH_*.json: >25% median
+# regression of the correlation hot path fails; cross-machine baselines
+# are skipped with a warning (see tools/benchdiff).
+benchdiff:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$' -benchmem -count 5 . \
+		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag gate > /tmp/bench-gate.json
+	$(GO) run ./tools/benchdiff -new /tmp/bench-gate.json -dir . -bench PipelineCorrelate -threshold 25
 
 # Every benchmark in the repo, text output only.
 benchall:

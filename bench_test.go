@@ -221,6 +221,28 @@ func BenchmarkPipelineCorrelate(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineCorrelateSharded sweeps the prefix-partitioned
+// correlation across shard counts. shards-1 delegates to the single-merger
+// path (the free-abstraction check: it must sit within noise of
+// BenchmarkPipelineCorrelate); higher counts expose the scaling curve
+// recorded in docs/PERFORMANCE.md — on a single-core runner the curve is
+// flat and the interesting number is the merge-plane overhead.
+func BenchmarkPipelineCorrelateSharded(b *testing.B) {
+	ds, _ := benchFixture(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			c := correlate.New(ds.Inventory, correlate.Options{Shards: shards})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.ProcessDatasetSharded(context.Background(), ds.Dir); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPipelineStaged measures the same correlation workload driven
 // through the staged engine (instrumented stage, report bookkeeping,
 // context plumbing). Compared against BenchmarkPipelineCorrelate it bounds

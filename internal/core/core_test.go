@@ -2,8 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -189,5 +192,35 @@ func TestResultsBufferRenderable(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("no categories")
+	}
+}
+
+// Sharded analysis is a drop-in: same correlation export as the unsharded
+// run, with one attached metrics record per shard in the stage report.
+func TestShardedAnalyzeMatches(t *testing.T) {
+	ds, res := loadE2E(t)
+	cfg := DefaultConfig(0.004, 808)
+	cfg.Hours = 60
+	cfg.Shards = 4
+	sharded, rep, err := ds.AnalyzeStaged(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Correlate.Export(), sharded.Correlate.Export()) {
+		t.Fatal("sharded correlation export diverged from unsharded analysis")
+	}
+	if res.Summary.Total != sharded.Summary.Total {
+		t.Fatalf("summary total %d != %d", sharded.Summary.Total, res.Summary.Total)
+	}
+	devs := 0
+	for k := 0; k < 4; k++ {
+		m := rep.Stage(fmt.Sprintf("correlate/shard-%d", k))
+		if m == nil {
+			t.Fatalf("report missing correlate/shard-%d", k)
+		}
+		devs += int(m.RecordsOut)
+	}
+	if devs != len(sharded.Correlate.Devices) {
+		t.Fatalf("shard records count %d devices, result has %d", devs, len(sharded.Correlate.Devices))
 	}
 }

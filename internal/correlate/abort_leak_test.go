@@ -1,0 +1,94 @@
+package correlate
+
+import (
+	"io"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/wgen"
+)
+
+// Abort's contract is that the window's pooled scratch goes back to the
+// pool, not to the floor: a collector that opens and abandons windows all
+// day (late data, upstream resets) must not grow the correlator's memory or
+// leak goroutines. scratchAllocs counts fresh scratch constructions, so
+// with the GC disabled (a sync.Pool may legitimately shed entries on GC)
+// any Abort leak shows up as the counter climbing across cycles.
+func TestWindowAbortRecyclesScratch(t *testing.T) {
+	sc := wgen.Default(0.002, 707)
+	sc.Hours = 2
+	g, err := wgen.New(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := g.Run(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(g.Inventory(), Options{Workers: 1})
+	inc, err := c.NewIncremental(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := flowtuple.Open(flowtuple.HourPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]flowtuple.Record, 512)
+	n, err := rd.NextBatch(batch)
+	rd.Close()
+	if n == 0 || (err != nil && err != io.EOF) {
+		t.Fatalf("no records to feed: n=%d err=%v", n, err)
+	}
+	batch = batch[:n]
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	// Warm the pool: the first cycle legitimately constructs one scratch.
+	w, err := inc.OpenWindow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Feed(batch); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent: the second call must not double-put
+
+	goroutines := runtime.NumGoroutine()
+	allocs := c.scratchAllocs.Load()
+	for i := 0; i < 1000; i++ {
+		w, err := inc.OpenWindow(0)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := w.Feed(batch); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		w.Abort()
+	}
+	// Under the race detector sync.Pool.Put drops a random fraction of
+	// entries by design, so the zero-growth assertion only holds without
+	// it; the goroutine and reuse checks below still apply either way.
+	if grew := c.scratchAllocs.Load() - allocs; grew != 0 && !raceEnabled {
+		t.Fatalf("1000 open/abort cycles constructed %d fresh scratches; Abort is leaking the pool", grew)
+	}
+	if now := runtime.NumGoroutine(); now > goroutines {
+		t.Fatalf("goroutines grew across open/abort cycles: %d -> %d", goroutines, now)
+	}
+
+	// The aborted hour stayed open: it can still be sealed for real.
+	w, err = inc.OpenWindow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Feed(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"iotscope/internal/devicedb"
 	"iotscope/internal/flowtuple"
@@ -25,6 +26,16 @@ type Options struct {
 	// FaultPolicy selects strict (fail fast, the default) or lenient
 	// (quarantine unreadable hours and continue) ingestion.
 	FaultPolicy FaultPolicy
+	// Shards partitions the source-IP space by top-bits prefix into this
+	// many independent shards (power of two), each with its own dense
+	// accumulators, sketches, scratch pool, and merger — see shard.go.
+	// 0 or 1 keeps the single-merger path.
+	Shards int
+	// ShardMemoryBudget bounds one shard's estimated resident bytes
+	// (scratches in flight, merge tables, retained merge-plane surfaces).
+	// There is no spill: a run that would exceed the budget fails fast
+	// with a ShardMemoryError. 0 means unlimited.
+	ShardMemoryBudget uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -33,6 +44,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SketchPrecision == 0 {
 		o.SketchPrecision = 14
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -50,6 +64,9 @@ type Correlator struct {
 
 	// scratch recycles hourScratch instances across hours; see dense.go.
 	scratch sync.Pool
+	// scratchAllocs counts fresh hourScratch constructions — the
+	// observable face of pool health (a leak shows up as growth here).
+	scratchAllocs atomic.Int64
 }
 
 // New returns a correlator over the inventory.
@@ -89,7 +106,21 @@ func isCtxErr(err error) bool {
 // and recycled (the scratch pool stays clean), and ProcessDataset returns
 // ctx.Err() — cancellation is never recorded as an ingest fault or
 // quarantine, even under the Lenient policy.
+//
+// With Options.Shards > 1 the run is partitioned by source-IP prefix and
+// recombined through the merge plane (see shard.go); the result is
+// byte-identical either way.
 func (c *Correlator) ProcessDataset(ctx context.Context, dir string) (*Result, error) {
+	if c.opts.Shards > 1 {
+		res, _, err := c.ProcessDatasetSharded(ctx, dir)
+		return res, err
+	}
+	return c.processDatasetSingle(ctx, dir)
+}
+
+// processDatasetSingle is the unsharded engine: one merger goroutine over
+// one set of dense tables.
+func (c *Correlator) processDatasetSingle(ctx context.Context, dir string) (*Result, error) {
 	hours, err := flowtuple.DatasetHours(dir)
 	if err != nil {
 		return nil, err
@@ -206,11 +237,16 @@ func newResult(hours int) *Result {
 	return res
 }
 
-// destCounter counts unique destinations exactly or approximately.
+// destCounter counts unique destinations exactly or approximately. The two
+// append methods expose the counter's mergeable raw state to the shard
+// merge plane: an exact counter exports its distinct values, an HLL its
+// registers; each returns dst unchanged for the mode it doesn't implement.
 type destCounter interface {
 	add(v uint32)
 	estimate() uint64
 	reset()
+	appendIPs(dst []uint32) []uint32
+	appendRegisters(dst []uint8) []uint8
 }
 
 // exactCounter is the exact mode, backed by the same open-addressed set the
@@ -227,11 +263,28 @@ func (e *exactCounter) add(v uint32)     { e.s.add(uint64(v)) }
 func (e *exactCounter) estimate() uint64 { return uint64(e.s.used) }
 func (e *exactCounter) reset()           { e.s.reset() }
 
+func (e *exactCounter) appendIPs(dst []uint32) []uint32 {
+	for _, k := range e.s.slots {
+		if k != 0 {
+			dst = append(dst, uint32(k-1))
+		}
+	}
+	return dst
+}
+
+func (e *exactCounter) appendRegisters(dst []uint8) []uint8 { return dst }
+
 type hllCounter struct{ h *sketch.HLL }
 
 func (h hllCounter) add(v uint32)     { h.h.AddAddr(v) }
 func (h hllCounter) estimate() uint64 { return h.h.Estimate() }
 func (h hllCounter) reset()           { h.h.Reset() }
+
+func (h hllCounter) appendIPs(dst []uint32) []uint32 { return dst }
+
+func (h hllCounter) appendRegisters(dst []uint8) []uint8 {
+	return h.h.AppendRegisters(dst)
+}
 
 func (c *Correlator) newDestCounter() destCounter {
 	if c.opts.UseSketches {
@@ -264,4 +317,16 @@ func (b *portBitset) count() uint64 {
 		n += uint64(bits.OnesCount64(w))
 	}
 	return n
+}
+
+// appendPorts appends every set port to dst, ascending.
+func (b *portBitset) appendPorts(dst []uint16) []uint16 {
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, uint16(wi<<6|bit))
+			w &^= 1 << bit
+		}
+	}
+	return dst
 }

@@ -221,6 +221,7 @@ type hourScratch struct {
 }
 
 func (c *Correlator) newScratch() (*hourScratch, error) {
+	c.scratchAllocs.Add(1)
 	n := c.inv.Len()
 	s := &hourScratch{
 		devs:       make([]DeviceStats, n),

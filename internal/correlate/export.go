@@ -19,6 +19,20 @@ import (
 // dense hot path — maps are only rebuilt at import time, exactly as
 // finalizeResult builds them after a merge.
 
+// ErrBadFormat flags a structurally invalid export, checkpoint, or shard
+// partial: unsorted or duplicate keys, out-of-range hours, inconsistent
+// counts. It is the correlate-level member of the repo-wide bad-format
+// taxonomy (flowtuple and resultstore each carry their own sentinel for
+// their layer), so callers classify validation failures with
+// errors.Is(err, correlate.ErrBadFormat) instead of matching messages.
+var ErrBadFormat = errors.New("correlate: bad export format")
+
+// badf builds an ErrBadFormat-wrapped validation error, mirroring the
+// resultstore idiom.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("correlate: "+format+": %w", append(args, ErrBadFormat)...)
+}
+
 // HourCount is one sparse (hour, count) cell, the export form of the
 // per-device BackscatterHourly map.
 type HourCount struct {
@@ -218,14 +232,14 @@ func (f *storedFault) Is(target error) bool {
 // a subtly wrong Result.
 func (e *ResultExport) Result() (*Result, error) {
 	if e.Hours <= 0 {
-		return nil, fmt.Errorf("correlate: export hours %d must be positive", e.Hours)
+		return nil, badf("export hours %d must be positive", e.Hours)
 	}
 	if len(e.Hourly) != e.Hours {
-		return nil, fmt.Errorf("correlate: export has %d hourly rows, want %d", len(e.Hourly), e.Hours)
+		return nil, badf("export has %d hourly rows, want %d", len(e.Hourly), e.Hours)
 	}
 	for i := range e.Hourly {
 		if e.Hourly[i].Hour != i {
-			return nil, fmt.Errorf("correlate: hourly row %d labeled hour %d", i, e.Hourly[i].Hour)
+			return nil, badf("hourly row %d labeled hour %d", i, e.Hourly[i].Hour)
 		}
 	}
 	res := newResult(e.Hours)
@@ -248,7 +262,7 @@ func (e *ResultExport) Result() (*Result, error) {
 	for i := range e.Devices {
 		de := &e.Devices[i]
 		if de.ID <= prevID {
-			return nil, fmt.Errorf("correlate: device list not ascending at ID %d", de.ID)
+			return nil, badf("device list not ascending at ID %d", de.ID)
 		}
 		prevID = de.ID
 		d := &devSlab[i]
@@ -267,7 +281,7 @@ func (e *ResultExport) Result() (*Result, error) {
 			prevH := int32(-1)
 			for _, hc := range de.Backscatter {
 				if hc.Hour <= prevH || int(hc.Hour) >= e.Hours {
-					return nil, fmt.Errorf("correlate: device %d backscatter hour %d invalid", de.ID, hc.Hour)
+					return nil, badf("device %d backscatter hour %d invalid", de.ID, hc.Hour)
 				}
 				prevH = hc.Hour
 				d.BackscatterHourly[int(hc.Hour)] = hc.Count
@@ -287,7 +301,7 @@ func (e *ResultExport) Result() (*Result, error) {
 	for i := range e.UDPPorts {
 		pe := &e.UDPPorts[i]
 		if int(pe.Port) <= prevPort {
-			return nil, fmt.Errorf("correlate: UDP port list not ascending at %d", pe.Port)
+			return nil, badf("UDP port list not ascending at %d", pe.Port)
 		}
 		prevPort = int(pe.Port)
 		udpLists += len(pe.Devices)
@@ -309,7 +323,7 @@ func (e *ResultExport) Result() (*Result, error) {
 	for i := range e.TCPScanPorts {
 		pe := &e.TCPScanPorts[i]
 		if int(pe.Port) <= prevPort {
-			return nil, fmt.Errorf("correlate: TCP port list not ascending at %d", pe.Port)
+			return nil, badf("TCP port list not ascending at %d", pe.Port)
 		}
 		prevPort = int(pe.Port)
 		tcpLists += len(pe.DevicesConsumer) + len(pe.DevicesCPS)
@@ -339,11 +353,11 @@ func (e *ResultExport) Result() (*Result, error) {
 	for _, ph := range e.TCPPortHour {
 		key := int(ph.Port)<<16 | int(ph.Hour)
 		if key <= prevKey {
-			return nil, fmt.Errorf("correlate: port-hour list not ascending at %d/%d", ph.Port, ph.Hour)
+			return nil, badf("port-hour list not ascending at %d/%d", ph.Port, ph.Hour)
 		}
 		prevKey = key
 		if int(ph.Hour) >= e.Hours {
-			return nil, fmt.Errorf("correlate: port-hour cell %d/%d outside %d hours", ph.Port, ph.Hour, e.Hours)
+			return nil, badf("port-hour cell %d/%d outside %d hours", ph.Port, ph.Hour, e.Hours)
 		}
 		res.TCPPortHour[PortHour{Port: ph.Port, Hour: ph.Hour}] = ph.Packets
 	}
@@ -351,7 +365,7 @@ func (e *ResultExport) Result() (*Result, error) {
 	prevHour := int32(-1)
 	for _, fe := range e.Faults {
 		if fe.Hour <= prevHour {
-			return nil, fmt.Errorf("correlate: fault list not ascending at hour %d", fe.Hour)
+			return nil, badf("fault list not ascending at hour %d", fe.Hour)
 		}
 		prevHour = fe.Hour
 		res.Ingest.Faults = append(res.Ingest.Faults, HourFault{
@@ -379,11 +393,11 @@ func carveList(backing *[]int32, devs []int32, known []bool, proto string, port 
 	prev := int32(-1)
 	for _, id := range devs {
 		if id <= prev {
-			return nil, fmt.Errorf("correlate: %s port %d device list not ascending at %d", proto, port, id)
+			return nil, badf("%s port %d device list not ascending at %d", proto, port, id)
 		}
 		prev = id
 		if id < 0 || int(id) >= len(known) || !known[id] {
-			return nil, fmt.Errorf("correlate: %s port %d lists unknown device %d", proto, port, id)
+			return nil, badf("%s port %d lists unknown device %d", proto, port, id)
 		}
 	}
 	lo := len(*backing)
@@ -451,13 +465,13 @@ func (inc *Incremental) IngestedHours() []int {
 // identical to the original's had it never stopped.
 func (c *Correlator) RestoreIncremental(cp *CheckpointExport) (*Incremental, error) {
 	if cp == nil || cp.Result == nil {
-		return nil, errors.New("correlate: checkpoint missing result")
+		return nil, badf("checkpoint missing result")
 	}
 	if cp.MaxHours <= 0 {
-		return nil, fmt.Errorf("correlate: checkpoint maxHours %d must be positive", cp.MaxHours)
+		return nil, badf("checkpoint maxHours %d must be positive", cp.MaxHours)
 	}
 	if cp.Result.Hours != cp.MaxHours {
-		return nil, fmt.Errorf("correlate: checkpoint result spans %d hours, want %d", cp.Result.Hours, cp.MaxHours)
+		return nil, badf("checkpoint result spans %d hours, want %d", cp.Result.Hours, cp.MaxHours)
 	}
 	if int(cp.BGPrecision) != c.opts.SketchPrecision {
 		return nil, fmt.Errorf("correlate: checkpoint sketch precision %d, correlator uses %d",
@@ -486,11 +500,11 @@ func (c *Correlator) RestoreIncremental(cp *CheckpointExport) (*Incremental, err
 	}
 	for h := range quarantined {
 		if hours[h] {
-			return nil, fmt.Errorf("correlate: checkpoint hour %d both ingested and quarantined", h)
+			return nil, badf("checkpoint hour %d both ingested and quarantined", h)
 		}
 	}
 	if res.Ingest.HoursOK != len(hours) {
-		return nil, fmt.Errorf("correlate: checkpoint counts %d hours ok but lists %d ingested",
+		return nil, badf("checkpoint counts %d hours ok but lists %d ingested",
 			res.Ingest.HoursOK, len(hours))
 	}
 	return &Incremental{
@@ -508,11 +522,11 @@ func restoreHourSet(list []int32, maxHours int, what string) (map[int]bool, erro
 	prev := int32(-1)
 	for _, h := range list {
 		if h <= prev {
-			return nil, fmt.Errorf("correlate: checkpoint %s hours not ascending at %d", what, h)
+			return nil, badf("checkpoint %s hours not ascending at %d", what, h)
 		}
 		prev = h
 		if int(h) >= maxHours {
-			return nil, fmt.Errorf("correlate: checkpoint %s hour %d outside [0, %d)", what, h, maxHours)
+			return nil, badf("checkpoint %s hour %d outside [0, %d)", what, h, maxHours)
 		}
 		set[int(h)] = true
 	}

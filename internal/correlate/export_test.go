@@ -263,3 +263,50 @@ func TestRestoreIncrementalRejects(t *testing.T) {
 		t.Fatalf("pristine checkpoint rejected: %v", err)
 	}
 }
+
+// Corrupt hour sets must surface as ErrBadFormat-family errors — the
+// signal a resuming collector uses to discard the checkpoint and rebuild —
+// never as a panic or an unclassified error.
+func TestRestoreIncrementalBadHourSets(t *testing.T) {
+	dir, g := cleanDataset(t, 56, 3)
+	c := New(g.Inventory(), Options{Workers: 1})
+	inc, err := c.NewIncremental(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Ingest(context.Background(), dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	good := inc.Export()
+
+	cases := map[string]func(cp *CheckpointExport){
+		"hour at maxHours":     func(cp *CheckpointExport) { cp.IngestedHours = []int32{3} },
+		"hour beyond maxHours": func(cp *CheckpointExport) { cp.IngestedHours = []int32{12} },
+		"negative hour":        func(cp *CheckpointExport) { cp.IngestedHours = []int32{-1} },
+		"duplicate hours":      func(cp *CheckpointExport) { cp.IngestedHours = []int32{0, 0} },
+		"descending hours":     func(cp *CheckpointExport) { cp.IngestedHours = []int32{2, 0} },
+		"quarantined dup": func(cp *CheckpointExport) {
+			cp.QuarantinedHours = []int32{1, 1}
+		},
+		"quarantined range": func(cp *CheckpointExport) {
+			cp.QuarantinedHours = []int32{5}
+		},
+	}
+	for name, mutate := range cases {
+		cp := *good
+		cp.IngestedHours = append([]int32(nil), good.IngestedHours...)
+		cp.QuarantinedHours = append([]int32(nil), good.QuarantinedHours...)
+		mutate(&cp)
+		_, err := func() (inc *Incremental, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: RestoreIncremental panicked: %v", name, r)
+				}
+			}()
+			return c.RestoreIncremental(&cp)
+		}()
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: got %v, want ErrBadFormat", name, err)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package correlate
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The sharded path's contract is byte-identity: for any power-of-two shard
+// count, the merged Result's canonical Export must equal the unsharded
+// oracle's, under both fault policies, both counter modes, and any worker
+// count. These tests are the proof; internal/resultstore carries the
+// companion test that the identity survives the on-disk codec.
+
+// requireSameExport compares two Results through the canonical Export
+// encoding — the exact surface resultstore serializes.
+func requireSameExport(t *testing.T, want, got *Result) {
+	t.Helper()
+	we, ge := want.Export(), got.Export()
+	if reflect.DeepEqual(we, ge) {
+		return
+	}
+	if !reflect.DeepEqual(we.Hourly, ge.Hourly) {
+		for h := range we.Hourly {
+			if !reflect.DeepEqual(we.Hourly[h], ge.Hourly[h]) {
+				t.Fatalf("hour %d diverged:\n oracle  %+v\n sharded %+v", h, we.Hourly[h], ge.Hourly[h])
+			}
+		}
+	}
+	if !reflect.DeepEqual(we.Devices, ge.Devices) {
+		t.Fatalf("device exports diverged (oracle %d devices, sharded %d)", len(we.Devices), len(ge.Devices))
+	}
+	if !reflect.DeepEqual(we.UDPPorts, ge.UDPPorts) {
+		t.Fatal("UDP port exports diverged")
+	}
+	if !reflect.DeepEqual(we.TCPScanPorts, ge.TCPScanPorts) {
+		t.Fatal("TCP scan port exports diverged")
+	}
+	if !reflect.DeepEqual(we.TCPPortHour, ge.TCPPortHour) {
+		t.Fatal("port-hour exports diverged")
+	}
+	if we.Background != ge.Background {
+		t.Fatalf("background diverged: oracle %+v sharded %+v", we.Background, ge.Background)
+	}
+	if !reflect.DeepEqual(we.Faults, ge.Faults) {
+		t.Fatalf("fault exports diverged:\n oracle  %+v\n sharded %+v", we.Faults, ge.Faults)
+	}
+	t.Fatalf("exports diverged:\n oracle  %+v\n sharded %+v", we, ge)
+}
+
+func TestShardOf(t *testing.T) {
+	cases := []struct {
+		ip     uint32
+		shards int
+		want   int
+	}{
+		{0xFFFFFFFF, 1, 0},
+		{0xFFFFFFFF, 2, 1},
+		{0x7FFFFFFF, 2, 0},
+		{0xFFFFFFFF, 4, 3},
+		{0x40000000, 4, 1},
+		{0x0A000001, 256, 0x0A},
+		{0xC0A80101, 256, 0xC0},
+	}
+	for _, c := range cases {
+		if got := ShardOf(c.ip, c.shards); got != c.want {
+			t.Errorf("ShardOf(%#x, %d) = %d, want %d", c.ip, c.shards, got, c.want)
+		}
+	}
+}
+
+// Strict policy, clean dataset, exact counters: every power-of-two shard
+// count reproduces the unsharded oracle exactly, at one worker and eight.
+func TestShardedMatchesOracleStrict(t *testing.T) {
+	dir, g := cleanDataset(t, 97, 6)
+	oracle, err := New(g.Inventory(), Options{Workers: 4}).ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			c := New(g.Inventory(), Options{Workers: workers, Shards: shards})
+			got, reports, err := c.ProcessDatasetSharded(context.Background(), dir)
+			if err != nil {
+				t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+			}
+			requireSameExport(t, oracle, got)
+			if len(reports) != shards {
+				t.Fatalf("workers=%d shards=%d: %d reports", workers, shards, len(reports))
+			}
+			devs := 0
+			var iot uint64
+			for _, r := range reports {
+				devs += r.Devices
+				iot += r.RecordsIoT
+				if r.RetainedBytes == 0 {
+					t.Fatalf("shard %d reports zero retained bytes", r.Shard)
+				}
+			}
+			if devs != len(got.Devices) {
+				t.Fatalf("reports count %d devices, result has %d", devs, len(got.Devices))
+			}
+			var wantIoT uint64
+			for i := range got.Hourly {
+				wantIoT += got.Hourly[i].RecordsIoT
+			}
+			if iot != wantIoT {
+				t.Fatalf("reports count %d IoT records, result has %d", iot, wantIoT)
+			}
+		}
+	}
+}
+
+// Lenient policy over a damaged dataset: the sharded run quarantines the
+// same hours with the same fault records and matches the oracle on
+// everything the healthy hours contributed.
+func TestShardedMatchesOracleLenient(t *testing.T) {
+	dir, g := damagedDataset(t)
+	oracle, err := New(g.Inventory(), Options{Workers: 4, FaultPolicy: Lenient}).
+		ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		c := New(g.Inventory(), Options{Workers: 4, FaultPolicy: Lenient, Shards: shards})
+		got, _, err := c.ProcessDatasetSharded(context.Background(), dir)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		requireSameExport(t, oracle, got)
+		if got.Ingest.HoursOK != 3 || got.Ingest.HoursQuarantined != 2 {
+			t.Fatalf("shards=%d: ingest %+v", shards, got.Ingest)
+		}
+	}
+}
+
+// Sketch mode: HLL register-wise max across shards must reproduce the
+// unpartitioned registers, hence identical estimates.
+func TestShardedMatchesOracleSketches(t *testing.T) {
+	dir, g := cleanDataset(t, 98, 5)
+	oracle, err := New(g.Inventory(), Options{Workers: 4, UseSketches: true, SketchPrecision: 12}).
+		ProcessDataset(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(g.Inventory(), Options{Workers: 4, UseSketches: true, SketchPrecision: 12, Shards: 4})
+	got, _, err := c.ProcessDatasetSharded(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameExport(t, oracle, got)
+}
+
+// Strict policy over a damaged dataset: the sharded coordinator fails with
+// the same deterministic lowest-hour error as the single path.
+func TestShardedStrictError(t *testing.T) {
+	dir, g := damagedDataset(t)
+	_, wantErr := New(g.Inventory(), Options{Workers: 4}).ProcessDataset(context.Background(), dir)
+	if wantErr == nil {
+		t.Fatal("oracle unexpectedly succeeded on damaged dataset")
+	}
+	c := New(g.Inventory(), Options{Workers: 4, Shards: 4})
+	_, _, err := c.ProcessDatasetSharded(context.Background(), dir)
+	if err == nil {
+		t.Fatal("sharded run unexpectedly succeeded on damaged dataset")
+	}
+	if err.Error() != wantErr.Error() {
+		t.Fatalf("sharded error %q, oracle error %q", err, wantErr)
+	}
+}
+
+// The incremental engine is an independent second oracle: ingest the same
+// hours one by one and demand the sharded batch run agrees on every
+// downstream surface.
+func TestShardedMatchesIncremental(t *testing.T) {
+	dir, g := cleanDataset(t, 99, 5)
+	c := New(g.Inventory(), Options{Workers: 2})
+	inc, err := c.NewIncremental(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hour := 0; hour < 5; hour++ {
+		if _, err := inc.Ingest(context.Background(), dir, hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := inc.Result()
+	cs := New(g.Inventory(), Options{Workers: 2, Shards: 4})
+	got, _, err := cs.ProcessDatasetSharded(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameData(t, want, got)
+}
+
+func TestShardedRejectsNonPowerOfTwo(t *testing.T) {
+	dir, g := cleanDataset(t, 100, 2)
+	c := New(g.Inventory(), Options{Workers: 2, Shards: 3})
+	_, err := c.ProcessDataset(context.Background(), dir)
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("got %v, want power-of-two rejection", err)
+	}
+}
+
+// A budget below the fixed footprint fails fast at startup, before any
+// hour is read, with the sentinel and the sizing numbers.
+func TestShardMemoryBudgetStartup(t *testing.T) {
+	dir, g := cleanDataset(t, 101, 3)
+	c := New(g.Inventory(), Options{Workers: 2, Shards: 4, ShardMemoryBudget: 1024})
+	_, _, err := c.ProcessDatasetSharded(context.Background(), dir)
+	if !errors.Is(err, ErrShardMemory) {
+		t.Fatalf("got %v, want ErrShardMemory", err)
+	}
+	var me *ShardMemoryError
+	if !errors.As(err, &me) {
+		t.Fatalf("got %T, want *ShardMemoryError", err)
+	}
+	if me.Shard != -1 || me.Hour != -1 {
+		t.Fatalf("startup failure should carry Shard=-1 Hour=-1, got %+v", me)
+	}
+	if me.Required <= me.Budget {
+		t.Fatalf("diagnostic says required %d <= budget %d", me.Required, me.Budget)
+	}
+	// The single-merger path honors the same pre-flight ceiling.
+	c1 := New(g.Inventory(), Options{Workers: 2, Shards: 1, ShardMemoryBudget: 1024})
+	if _, _, err := c1.ProcessDatasetSharded(context.Background(), dir); !errors.Is(err, ErrShardMemory) {
+		t.Fatalf("single-shard path: got %v, want ErrShardMemory", err)
+	}
+}
+
+// A budget that admits the fixed footprint but not the retained surfaces
+// trips at run time, naming the shard and hour that overran.
+func TestShardMemoryBudgetRuntime(t *testing.T) {
+	dir, g := cleanDataset(t, 102, 4)
+	probe := New(g.Inventory(), Options{Workers: 2, Shards: 2})
+	budget := probe.shardFixedFootprint(4) + 8
+	c := New(g.Inventory(), Options{Workers: 2, Shards: 2, ShardMemoryBudget: budget})
+	_, _, err := c.ProcessDatasetSharded(context.Background(), dir)
+	if !errors.Is(err, ErrShardMemory) {
+		t.Fatalf("got %v, want ErrShardMemory", err)
+	}
+	var me *ShardMemoryError
+	if !errors.As(err, &me) {
+		t.Fatalf("got %T, want *ShardMemoryError", err)
+	}
+	if me.Shard < 0 || me.Shard >= 2 || me.Hour < 0 {
+		t.Fatalf("runtime failure should name shard and hour, got %+v", me)
+	}
+	// The pool must still be clean: a follow-up unlimited run succeeds.
+	c2 := New(g.Inventory(), Options{Workers: 2, Shards: 2})
+	if _, _, err := c2.ProcessDatasetSharded(context.Background(), dir); err != nil {
+		t.Fatalf("follow-up run after budget trip: %v", err)
+	}
+}
+
+// Cancellation surfaces ctx.Err() and records no faults, exactly like the
+// single-merger path.
+func TestShardedCancellation(t *testing.T) {
+	dir, g := cleanDataset(t, 103, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(g.Inventory(), Options{Workers: 2, Shards: 4, FaultPolicy: Lenient})
+	_, _, err := c.ProcessDatasetSharded(ctx, dir)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// MergeShards rejects incomplete or inconsistent partial sets with
+// ErrBadFormat-family errors.
+func TestMergeShardsValidation(t *testing.T) {
+	mk := func(shard, shards int) *ShardPartial {
+		return &ShardPartial{Shard: shard, Shards: shards, Export: &ResultExport{Hours: 1}}
+	}
+	cases := map[string][]*ShardPartial{
+		"empty":        {},
+		"short set":    {mk(0, 2)},
+		"nil partial":  {mk(0, 2), nil},
+		"nil export":   {mk(0, 2), {Shard: 1, Shards: 2}},
+		"duplicate id": {mk(0, 2), mk(0, 2)},
+		"id range":     {mk(0, 2), mk(5, 2)},
+		"shard count":  {mk(0, 2), {Shard: 1, Shards: 4, Export: &ResultExport{Hours: 1}}},
+		"hour span": {mk(0, 2), {
+			Shard: 1, Shards: 2, Export: &ResultExport{Hours: 3},
+		}},
+	}
+	for name, partials := range cases {
+		if _, err := MergeShards(partials); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: got %v, want ErrBadFormat", name, err)
+		}
+	}
+}

@@ -209,6 +209,21 @@ func Meter(ctx context.Context) *StageMetrics {
 	return &StageMetrics{}
 }
 
+// Attach registers and returns an extra named metrics record in the
+// running stage's report — the hook a stage uses to surface per-unit
+// observability finer than its own row (e.g. the correlate stage attaching
+// one record per shard). Records appear in the report in Attach order,
+// after the rows already registered. Outside an engine run it returns a
+// detached record that is safe to mutate and simply discarded, so library
+// code can Attach unconditionally.
+func Attach(ctx context.Context, name string) *StageMetrics {
+	m := &StageMetrics{Name: name, Status: StatusOK}
+	if r := reportFrom(ctx); r != nil {
+		r.add(m)
+	}
+	return m
+}
+
 // ErrorClass buckets an error for the report: context cancellation and
 // deadlines are distinguished from missing inputs and everything else, and
 // errors may override the bucket by implementing ErrorClass() string.

@@ -129,6 +129,45 @@ func TestMeterOutsideEngineIsDetached(t *testing.T) {
 	}
 }
 
+func TestAttachRegistersExtraRecords(t *testing.T) {
+	eng := New("test", Func("correlate", func(ctx context.Context, st *State) error {
+		for i := 0; i < 3; i++ {
+			m := Attach(ctx, fmt.Sprintf("correlate/shard-%d", i))
+			m.RecordsIn = uint64(10 * (i + 1))
+			m.RecordsOut = uint64(i + 1)
+		}
+		return nil
+	}))
+	rep, err := eng.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stage's own row plus the three attached records.
+	if len(rep.Stages) != 4 {
+		t.Fatalf("report has %d rows, want 4: %+v", len(rep.Stages), rep.Stages)
+	}
+	for i := 0; i < 3; i++ {
+		m := rep.Stage(fmt.Sprintf("correlate/shard-%d", i))
+		if m == nil {
+			t.Fatalf("shard %d record missing", i)
+		}
+		if m.Status != StatusOK || m.RecordsIn != uint64(10*(i+1)) || m.RecordsOut != uint64(i+1) {
+			t.Fatalf("shard %d record wrong: %+v", i, m)
+		}
+	}
+}
+
+func TestAttachOutsideEngineIsDetached(t *testing.T) {
+	m := Attach(context.Background(), "orphan")
+	if m == nil {
+		t.Fatal("nil record")
+	}
+	m.RecordsIn = 7 // must not panic, must not share state
+	if Attach(context.Background(), "orphan").RecordsIn != 0 {
+		t.Fatal("detached records share state")
+	}
+}
+
 func TestSequenceCompositeRegistersChildren(t *testing.T) {
 	eng := New("test", Sequence("outer",
 		Func("c1", func(ctx context.Context, st *State) error { return nil }),

@@ -45,14 +45,21 @@ func (c *CountMin) Count(key uint64) uint64 {
 	return min
 }
 
-// Merge folds other into c. Dimensions must match.
+// ErrShapeMismatch is returned by CountMin.Merge when the two sketches have
+// different dimensions. A package-level sentinel keeps Merge allocation-free
+// on every path.
+var ErrShapeMismatch = errors.New("sketch: cannot merge CountMin of different shape")
+
+// Merge folds other into c. Dimensions must match. Allocation-free on
+// matched dimensions (see BenchmarkCountMinMerge).
 func (c *CountMin) Merge(other *CountMin) error {
 	if len(c.rows) != len(other.rows) || c.width != other.width {
-		return errors.New("sketch: cannot merge CountMin of different shape")
+		return ErrShapeMismatch
 	}
 	for i := range c.rows {
-		for j := range c.rows[i] {
-			c.rows[i][j] += other.rows[i][j]
+		dst, src := c.rows[i], other.rows[i]
+		for j, v := range src {
+			dst[j] += v
 		}
 	}
 	return nil

@@ -39,6 +39,10 @@ type Bench struct {
 	Samples      []Sample `json:"samples"`
 	MedianNs     float64  `json:"median_ns"`
 	MedianAllocs int64    `json:"median_allocs"`
+	// Shards is the shard count parsed from a "/shards-N" sub-benchmark
+	// segment (0 when the benchmark is not sharded), so scaling curves can
+	// be reconstructed from the committed document alone.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Report is the committed document.
@@ -54,8 +58,12 @@ type Report struct {
 	GoVersion  string            `json:"goVersion,omitempty"`
 	Goos       string            `json:"goos,omitempty"`
 	Goarch     string            `json:"goarch,omitempty"`
-	Pkg        string            `json:"pkg,omitempty"`
-	CPU        string            `json:"cpu,omitempty"`
+	Pkg string `json:"pkg,omitempty"`
+	CPU string `json:"cpu,omitempty"`
+	// GoMaxProcs is the parallelism the benchmarks ran with, parsed from
+	// the "-N" benchmark-name suffix (Go omits it at GOMAXPROCS=1, so 1
+	// means a single-core run). Scaling numbers are meaningless without it.
+	GoMaxProcs int               `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]*Bench `json:"benchmarks"`
 	Raw        string            `json:"raw"`
 }
@@ -149,10 +157,13 @@ func parse(r io.Reader, date string) (*Report, error) {
 			}
 			b := rep.Benchmarks[name]
 			if b == nil {
-				b = &Bench{}
+				b = &Bench{Shards: parseShards(name)}
 				rep.Benchmarks[name] = b
 			}
 			b.Samples = append(b.Samples, s)
+			if p := parseProcsSuffix(name); p > rep.GoMaxProcs {
+				rep.GoMaxProcs = p
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -160,6 +171,10 @@ func parse(r io.Reader, date string) (*Report, error) {
 	}
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	if rep.GoMaxProcs == 0 {
+		// Go omits the -N suffix at GOMAXPROCS=1.
+		rep.GoMaxProcs = 1
 	}
 	for _, b := range rep.Benchmarks {
 		b.MedianNs = medianF(b.Samples, func(s Sample) float64 { return s.NsPerOp })
@@ -197,6 +212,46 @@ func parseBenchLine(line string) (string, Sample, bool) {
 		}
 	}
 	return name, s, seen
+}
+
+// parseProcsSuffix reads the GOMAXPROCS marker Go appends to benchmark
+// names ("BenchmarkX-8" → 8). Only top-level names are trusted: in a
+// sub-benchmark like "Benchmark/shards-4" the trailing number is the
+// parameter, not the parallelism (at GOMAXPROCS=1 Go appends no suffix, so
+// the two are indistinguishable there). Every bench run includes top-level
+// benchmarks, which settle it.
+func parseProcsSuffix(name string) int {
+	if strings.ContainsRune(name, '/') {
+		return 0
+	}
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}
+
+// parseShards reads a "/shards-N" sub-benchmark segment ("Benchmark/shards-4"
+// or "Benchmark/shards-4-8"); 0 when the benchmark is not sharded.
+func parseShards(name string) int {
+	const marker = "/shards-"
+	i := strings.Index(name, marker)
+	if i < 0 {
+		return 0
+	}
+	rest := name[i+len(marker):]
+	if j := strings.IndexAny(rest, "-/"); j >= 0 {
+		rest = rest[:j]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
 }
 
 func medianF(samples []Sample, get func(Sample) float64) float64 {

@@ -53,6 +53,48 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// GOMAXPROCS comes from the "-N" suffix of top-level benchmark names;
+// shard counts from "/shards-N" sub-benchmark segments. A suffix-free run
+// (GOMAXPROCS=1) stamps 1.
+func TestParseProcsAndShards(t *testing.T) {
+	const sharded = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineCorrelate-8 	 3	 937980439 ns/op
+BenchmarkPipelineCorrelateSharded/shards-1-8 	 3	 940000000 ns/op
+BenchmarkPipelineCorrelateSharded/shards-4-8 	 3	 250000000 ns/op
+PASS
+`
+	rep, err := parse(strings.NewReader(sharded), "2026-08-08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoMaxProcs != 8 {
+		t.Fatalf("gomaxprocs %d, want 8", rep.GoMaxProcs)
+	}
+	if b := rep.Benchmarks["BenchmarkPipelineCorrelateSharded/shards-4-8"]; b == nil || b.Shards != 4 {
+		t.Fatalf("shards-4 bench: %+v", b)
+	}
+	if b := rep.Benchmarks["BenchmarkPipelineCorrelate-8"]; b == nil || b.Shards != 0 {
+		t.Fatalf("unsharded bench should carry Shards 0: %+v", b)
+	}
+
+	// Single-core shape: no -N suffix anywhere; "/shards-4" must not be
+	// mistaken for a GOMAXPROCS marker.
+	const singleCore = `BenchmarkPipelineCorrelate 	 3	 937980439 ns/op
+BenchmarkPipelineCorrelateSharded/shards-4 	 3	 950000000 ns/op
+`
+	rep, err = parse(strings.NewReader(singleCore), "2026-08-08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoMaxProcs != 1 {
+		t.Fatalf("gomaxprocs %d, want 1", rep.GoMaxProcs)
+	}
+	if b := rep.Benchmarks["BenchmarkPipelineCorrelateSharded/shards-4"]; b == nil || b.Shards != 4 {
+		t.Fatalf("shards-4 bench: %+v", b)
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok\n"), ""); err == nil {
 		t.Fatal("expected error on input without benchmark lines")

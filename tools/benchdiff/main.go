@@ -1,0 +1,209 @@
+// Command benchdiff gates performance regressions against the committed
+// bench2json artifacts. It compares the median ns/op of selected benchmarks
+// in a fresh bench2json document against the latest committed
+// BENCH_<date>-<tag>.json baseline and exits non-zero when a benchmark
+// regressed beyond the threshold — the CI bench-smoke step runs it after
+// every push.
+//
+// Benchmark names are matched tolerant of the GOMAXPROCS "-N" suffix, so a
+// baseline recorded on an 8-way runner still gates a single-core run.
+// Cross-machine numbers are noise, not signal: when the baseline's cpu
+// string differs from the new document's, benchdiff warns and exits 0
+// unless -force insists on the comparison.
+//
+// Usage:
+//
+//	go run ./tools/benchdiff -new fresh.json [-baseline BENCH_x.json]
+//	    [-dir .] [-bench PipelineCorrelate] [-threshold 25] [-force]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench mirrors the bench2json document fields benchdiff reads.
+type Bench struct {
+	MedianNs float64 `json:"median_ns"`
+}
+
+// Report mirrors the bench2json document header benchdiff reads.
+type Report struct {
+	Date       string            `json:"date"`
+	Tag        string            `json:"tag"`
+	CPU        string            `json:"cpu"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		newPath   = flag.String("new", "", "fresh bench2json document (required)")
+		baseline  = flag.String("baseline", "", "baseline document (default: latest committed BENCH_*.json in -dir)")
+		dir       = flag.String("dir", ".", "directory searched for committed BENCH_*.json baselines")
+		benchList = flag.String("bench", "PipelineCorrelate", "comma-separated benchmark base names to gate")
+		threshold = flag.Float64("threshold", 25, "maximum allowed median ns/op regression, percent")
+		force     = flag.Bool("force", false, "compare even when the baseline was recorded on a different CPU")
+	)
+	flag.Parse()
+	if err := run(*newPath, *baseline, *dir, *benchList, *threshold, *force); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(newPath, baselinePath, dir, benchList string, threshold float64, force bool) error {
+	if newPath == "" {
+		return fmt.Errorf("-new is required")
+	}
+	fresh, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		baselinePath, err = latestBaseline(dir, newPath)
+		if err != nil {
+			return err
+		}
+		if baselinePath == "" {
+			fmt.Fprintf(os.Stderr, "benchdiff: no committed BENCH_*.json baseline in %s; nothing to gate\n", dir)
+			return nil
+		}
+	}
+	base, err := load(baselinePath)
+	if err != nil {
+		return err
+	}
+	if base.CPU != fresh.CPU && base.CPU != "" && fresh.CPU != "" && !force {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: baseline %s was recorded on %q, this run on %q — cross-machine medians are noise, skipping (use -force to compare anyway)\n",
+			filepath.Base(baselinePath), base.CPU, fresh.CPU)
+		return nil
+	}
+
+	var failures []string
+	for _, name := range strings.Split(benchList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		oldNs, oldKey, ok := lookup(base.Benchmarks, name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s absent from baseline %s, skipping\n", name, filepath.Base(baselinePath))
+			continue
+		}
+		newNs, newKey, ok := lookup(fresh.Benchmarks, name)
+		if !ok {
+			return fmt.Errorf("%s absent from %s", name, newPath)
+		}
+		if oldNs <= 0 {
+			return fmt.Errorf("baseline %s has non-positive median for %s", baselinePath, oldKey)
+		}
+		deltaPct := (newNs - oldNs) / oldNs * 100
+		fmt.Printf("benchdiff: %-40s %14.0f ns -> %14.0f ns  (%+.1f%%, limit +%.0f%%) vs %s\n",
+			newKey, oldNs, newNs, deltaPct, threshold, filepath.Base(baselinePath))
+		if deltaPct > threshold {
+			failures = append(failures, fmt.Sprintf("%s regressed %+.1f%% (limit +%.0f%%)", newKey, deltaPct, threshold))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+// lookup finds a benchmark by base name ("PipelineCorrelate"), tolerating
+// the "Benchmark" prefix and the GOMAXPROCS "-N" suffix in the stored key.
+func lookup(benches map[string]*Bench, name string) (float64, string, bool) {
+	want := name
+	if !strings.HasPrefix(want, "Benchmark") {
+		want = "Benchmark" + want
+	}
+	keys := make([]string, 0, len(benches))
+	for k := range benches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if k == want || strippedProcs(k) == want {
+			return benches[k].MedianNs, k, true
+		}
+	}
+	return 0, "", false
+}
+
+// strippedProcs removes a trailing "-<digits>" GOMAXPROCS marker from a
+// top-level benchmark name; sub-benchmarks (containing '/') are returned
+// unchanged because their trailing number may be a parameter.
+func strippedProcs(name string) string {
+	if strings.ContainsRune(name, '/') {
+		return name
+	}
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// latestBaseline picks the newest committed BENCH_*.json in dir, ordered by
+// the document's date field with the file name as tie-break (tags sort the
+// same day's artifacts deterministically). The fresh document is excluded
+// so a run in the repo root never gates against itself.
+func latestBaseline(dir, exclude string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	excludeAbs, _ := filepath.Abs(exclude)
+	type cand struct {
+		path string
+		date string
+	}
+	var cands []cand
+	for _, p := range paths {
+		if abs, _ := filepath.Abs(p); abs == excludeAbs {
+			continue
+		}
+		rep, err := load(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping unreadable baseline %s: %v\n", p, err)
+			continue
+		}
+		cands = append(cands, cand{path: p, date: rep.Date})
+	}
+	if len(cands) == 0 {
+		return "", nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].date != cands[j].date {
+			return cands[i].date < cands[j].date
+		}
+		return cands[i].path < cands[j].path
+	})
+	return cands[len(cands)-1].path, nil
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func doc(date, cpu string, medians map[string]float64) *Report {
+	benches := make(map[string]*Bench, len(medians))
+	for k, v := range medians {
+		benches[k] = &Bench{MedianNs: v}
+	}
+	return &Report{Date: date, CPU: cpu, Benchmarks: benches}
+}
+
+const cpu = "Intel(R) Xeon(R) Processor @ 2.10GHz"
+
+func TestPassWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "BENCH_2026-08-01-pr1.json", doc("2026-08-01", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1000}))
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1200}))
+	if err := run(fresh, base, dir, "PipelineCorrelate", 25, false); err != nil {
+		t.Fatalf("20%% regression under a 25%% limit must pass: %v", err)
+	}
+}
+
+func TestFailBeyondThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "BENCH_2026-08-01-pr1.json", doc("2026-08-01", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1000}))
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1300}))
+	if err := run(fresh, base, dir, "PipelineCorrelate", 25, false); err == nil {
+		t.Fatal("30% regression above a 25% limit must fail")
+	}
+}
+
+// The baseline key may carry the GOMAXPROCS suffix when the new run
+// doesn't (and vice versa): different runners, same benchmark.
+func TestProcsSuffixTolerated(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "BENCH_2026-08-01-pr1.json", doc("2026-08-01", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate-8": 1000}))
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 900}))
+	if err := run(fresh, base, dir, "PipelineCorrelate", 25, false); err != nil {
+		t.Fatalf("suffix mismatch must still match the benchmark: %v", err)
+	}
+}
+
+// A baseline recorded on different hardware is noise: warn and pass
+// unless forced.
+func TestCrossMachineSkips(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "BENCH_2026-08-01-pr1.json", doc("2026-08-01", "AMD EPYC 7763",
+		map[string]float64{"BenchmarkPipelineCorrelate": 100}))
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1000}))
+	if err := run(fresh, base, dir, "PipelineCorrelate", 25, false); err != nil {
+		t.Fatalf("cross-machine comparison must skip, not fail: %v", err)
+	}
+	if err := run(fresh, base, dir, "PipelineCorrelate", 25, true); err == nil {
+		t.Fatal("-force must apply the comparison and fail")
+	}
+}
+
+// With no -baseline, the newest committed artifact gates: document date
+// first, file name as the same-day tie-break, the fresh document excluded.
+func TestLatestBaselineSelection(t *testing.T) {
+	dir := t.TempDir()
+	writeDoc(t, dir, "BENCH_2026-08-01-pr1.json", doc("2026-08-01", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 500}))
+	writeDoc(t, dir, "BENCH_2026-08-06-pr4.json", doc("2026-08-06", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1000}))
+	writeDoc(t, dir, "BENCH_2026-08-06-pr3.json", doc("2026-08-06", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 2000}))
+	path, err := latestBaseline(dir, filepath.Join(dir, "fresh.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-08-06-pr4.json" {
+		t.Fatalf("picked %s, want the lexically-last same-day artifact", filepath.Base(path))
+	}
+
+	// Against pr4's 1000 ns baseline, 1200 ns passes at 25%.
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1200}))
+	if err := run(fresh, "", dir, "PipelineCorrelate", 25, false); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh doc itself must never be chosen as its own baseline even
+	// though it matches BENCH_*.json naming.
+	self := writeDoc(t, dir, "BENCH_2026-08-09-self.json", doc("2026-08-09", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 9999}))
+	path, err = latestBaseline(dir, self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) == "BENCH_2026-08-09-self.json" {
+		t.Fatal("fresh document gated against itself")
+	}
+}
+
+func TestNoBaselineIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1000}))
+	if err := run(fresh, "", dir, "PipelineCorrelate", 25, false); err != nil {
+		t.Fatalf("no committed baseline must be a no-op: %v", err)
+	}
+}
+
+func TestMissingBenchInFreshFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "BENCH_2026-08-01-pr1.json", doc("2026-08-01", cpu,
+		map[string]float64{"BenchmarkPipelineCorrelate": 1000}))
+	fresh := writeDoc(t, dir, "fresh.json", doc("2026-08-08", cpu,
+		map[string]float64{"BenchmarkOther": 1}))
+	if err := run(fresh, base, dir, "PipelineCorrelate", 25, false); err == nil {
+		t.Fatal("gated benchmark missing from the fresh run must fail")
+	}
+}
