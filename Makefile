@@ -63,18 +63,19 @@ chaos:
 BENCH_DATE ?= $(shell date +%F)
 BENCH_TAG ?= dev
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineCorrelateSharded$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$' \
-		-benchmem -benchtime 2s -count 3 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineCorrelateSharded$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$|BenchmarkServeSummary$$|BenchmarkServeSummaryLegacy$$|BenchmarkServeDevicesFilter$$|BenchmarkServeDevicesFilterLegacy$$|BenchmarkServeHTTPLoad$$' \
+		-benchmem -benchtime 2s -count 3 . ./internal/apiserve \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag $(BENCH_TAG) > BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
 	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
 
 # Regression gate against the newest committed BENCH_*.json: >25% median
-# regression of the correlation hot path fails; cross-machine baselines
-# are skipped with a warning (see tools/benchdiff).
+# regression of the correlation hot path or the HTTP serve hot paths
+# fails; cross-machine baselines are skipped with a warning (see
+# tools/benchdiff).
 benchdiff:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$' -benchmem -count 5 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkServeSummary$$|BenchmarkServeDevicesFilter$$' -benchmem -count 5 . ./internal/apiserve \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag gate > /tmp/bench-gate.json
-	$(GO) run ./tools/benchdiff -new /tmp/bench-gate.json -dir . -bench PipelineCorrelate -threshold 25
+	$(GO) run ./tools/benchdiff -new /tmp/bench-gate.json -dir . -bench PipelineCorrelate,ServeSummary,ServeDevicesFilter -threshold 25
 
 # Every benchmark in the repo, text output only.
 benchall:

@@ -26,6 +26,11 @@
 //     caps concurrency (503 + Retry-After), -rate/-burst rate-limit each
 //     token (429 + Retry-After), and -request-timeout propagates a
 //     context deadline to every handler.
+//   - -debug-addr (off by default) binds an operator-only observability
+//     server: /debug/vars (snapshot generation, matview build stats,
+//     request/304 counters, shed and 429 counts) and the net/http/pprof
+//     endpoints. It carries no auth — keep it on loopback or an internal
+//     network.
 //
 // Usage:
 //
@@ -33,7 +38,7 @@
 //	         [-snapshot store.irs]
 //	         [-max-inflight 256] [-rate 0] [-burst 0] [-request-timeout 30s]
 //	         [-drain 10s] [-reload-poll 0] [-reload-timeout 2m]
-//	         [-stage-report FILE|-]
+//	         [-stage-report FILE|-] [-debug-addr 127.0.0.1:8643]
 //
 // Endpoints (Bearer auth except /healthz):
 //
@@ -102,6 +107,7 @@ func run(args []string) error {
 		reloadPoll = fs.Duration("reload-poll", 0, "poll the dataset dir mtime and hot-reload on change (0 disables; SIGHUP always reloads)")
 		reloadTO   = fs.Duration("reload-timeout", 2*time.Minute, "deadline for a hot reload's load pipeline (0 disables)")
 		stageRep   = fs.String("stage-report", "", "write the boot load's per-stage pipeline metrics JSON to this file (- = stderr)")
+		debugAddr  = fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (off when empty; no auth — bind loopback)")
 	)
 	fs.Var(&tokens, "token", "API bearer token (repeatable; at least one required)")
 	if err := fs.Parse(args); err != nil {
@@ -181,6 +187,21 @@ func run(args []string) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("debug listen %s: %w", *debugAddr, err)
+		}
+		dbgSrv := &http.Server{
+			Handler:           api.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		defer dbgSrv.Close()
+		go dbgSrv.Serve(dln) //nolint:errcheck // closed on exit
+		fmt.Fprintf(os.Stderr, "iotserve: debug endpoints on %s (unauthenticated)\n", dln.Addr())
+	}
 
 	var pollCh <-chan time.Time
 	var lastMtime time.Time

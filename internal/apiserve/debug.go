@@ -1,0 +1,71 @@
+package apiserve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"iotscope/internal/matview"
+	"iotscope/internal/resilience"
+)
+
+// DebugVars is the /debug/vars payload: one consistent snapshot of the
+// serving counters and the current snapshot's materialization stats.
+type DebugVars struct {
+	Generation       uint64                   `json:"generation"`
+	LoadedAt         string                   `json:"loadedAt"`
+	ETag             string                   `json:"etag"`
+	MatView          matview.Stats            `json:"matview"`
+	Requests         uint64                   `json:"requests"`
+	NotModified      uint64                   `json:"notModified"`
+	NotModifiedRatio float64                  `json:"notModifiedRatio"`
+	Draining         bool                     `json:"draining"`
+	Admission        *resilience.LimiterStats `json:"admission,omitempty"`
+	Rate             *resilience.RateStats    `json:"rate,omitempty"`
+}
+
+// Vars snapshots the serving counters (also used by tests and tooling).
+func (s *Server) Vars() DebugVars {
+	sn := s.snap.Load()
+	v := DebugVars{
+		Generation:  sn.Generation,
+		LoadedAt:    sn.LoadedAt.UTC().Format(time.RFC3339),
+		ETag:        sn.etag,
+		MatView:     sn.views.Stats(),
+		Requests:    s.requests.Load(),
+		NotModified: s.notModified.Load(),
+		Draining:    s.draining.Load(),
+	}
+	if v.Requests > 0 {
+		v.NotModifiedRatio = float64(v.NotModified) / float64(v.Requests)
+	}
+	if s.limiter != nil {
+		ls := s.limiter.Stats()
+		v.Admission = &ls
+	}
+	if s.rate != nil {
+		rs := s.rate.Stats()
+		v.Rate = &rs
+	}
+	return v
+}
+
+// DebugHandler serves the operator-only observability surface: an
+// expvar-style /debug/vars (snapshot generation, matview build stats,
+// request and 304 counters, shed/429 counts) plus the net/http/pprof
+// profiling endpoints. It is intentionally NOT mounted on the public API
+// mux and carries no auth — iotserve binds it to a separate, off-by-
+// default -debug-addr that should stay on loopback or an internal
+// network.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Vars())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -13,9 +13,17 @@
 // control — a concurrency cap that sheds with 503 + Retry-After, a
 // per-token rate limit that rejects with 429 + Retry-After, and a
 // per-request context deadline (see internal/resilience).
+//
+// Every /v1/* read endpoint answers from the snapshot's materialized
+// views (internal/matview): aggregates are precomputed once per swap, so
+// request cost is O(answer), not O(dataset). Responses carry a strong
+// ETag ("g<generation>-<digest>") with If-None-Match revalidation and
+// Cache-Control; /v1/devices additionally supports opaque-cursor
+// pagination (see docs/API.md).
 package apiserve
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/json"
@@ -23,18 +31,16 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
-	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
-	"iotscope/internal/analysis"
-	"iotscope/internal/campaign"
-	"iotscope/internal/classify"
 	"iotscope/internal/core"
 	"iotscope/internal/devicedb"
+	"iotscope/internal/matview"
 	"iotscope/internal/netx"
-	"iotscope/internal/notify"
 	"iotscope/internal/pipeline"
 	"iotscope/internal/resilience"
 	"iotscope/internal/stream"
@@ -66,6 +72,11 @@ type Server struct {
 	rate    *resilience.RateLimiter
 	timeout time.Duration
 	clock   func() time.Time
+
+	// Serving counters for /debug/vars: total requests through ServeHTTP
+	// and conditional requests answered 304 from the client's cache.
+	requests    atomic.Uint64
+	notModified atomic.Uint64
 
 	// alerts, when wired via WithAlerts, serves the streaming collector's
 	// low-latency alert feed on /v1/alerts (long-poll) and
@@ -172,17 +183,17 @@ func New(ds *core.Dataset, res *core.Results, tokens []string, opts ...Option) (
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/summary", s.auth(s.snapped((*Snapshot).handleSummary)))
-	s.mux.HandleFunc("GET /v1/devices", s.auth(s.snapped((*Snapshot).handleDevices)))
-	s.mux.HandleFunc("GET /v1/devices/{id}", s.auth(s.snapped((*Snapshot).handleDevice)))
-	s.mux.HandleFunc("GET /v1/threats/{ip}", s.auth(s.snapped((*Snapshot).handleThreats)))
-	s.mux.HandleFunc("GET /v1/spikes", s.auth(s.snapped((*Snapshot).handleSpikes)))
-	s.mux.HandleFunc("GET /v1/ports/tcp", s.auth(s.snapped((*Snapshot).handleTCPPorts)))
-	s.mux.HandleFunc("GET /v1/ports/udp", s.auth(s.snapped((*Snapshot).handleUDPPorts)))
-	s.mux.HandleFunc("GET /v1/signatures", s.auth(s.snapped((*Snapshot).handleSignatures)))
-	s.mux.HandleFunc("GET /v1/campaigns", s.auth(s.snapped((*Snapshot).handleCampaigns)))
-	s.mux.HandleFunc("GET /v1/malware", s.auth(s.snapped((*Snapshot).handleMalware)))
-	s.mux.HandleFunc("GET /v1/reports", s.auth(s.snapped((*Snapshot).handleReports)))
+	s.mux.HandleFunc("GET /v1/summary", s.auth(s.view((*Snapshot).handleSummary)))
+	s.mux.HandleFunc("GET /v1/devices", s.auth(s.view((*Snapshot).handleDevices)))
+	s.mux.HandleFunc("GET /v1/devices/{id}", s.auth(s.view((*Snapshot).handleDevice)))
+	s.mux.HandleFunc("GET /v1/threats/{ip}", s.auth(s.view((*Snapshot).handleThreats)))
+	s.mux.HandleFunc("GET /v1/spikes", s.auth(s.view((*Snapshot).handleSpikes)))
+	s.mux.HandleFunc("GET /v1/ports/tcp", s.auth(s.view((*Snapshot).handleTCPPorts)))
+	s.mux.HandleFunc("GET /v1/ports/udp", s.auth(s.view((*Snapshot).handleUDPPorts)))
+	s.mux.HandleFunc("GET /v1/signatures", s.auth(s.view((*Snapshot).handleSignatures)))
+	s.mux.HandleFunc("GET /v1/campaigns", s.auth(s.view((*Snapshot).handleCampaigns)))
+	s.mux.HandleFunc("GET /v1/malware", s.auth(s.view((*Snapshot).handleMalware)))
+	s.mux.HandleFunc("GET /v1/reports", s.auth(s.view((*Snapshot).handleReports)))
 	s.mux.HandleFunc("GET /v1/pipeline", s.auth(s.handlePipeline))
 	if s.alerts != nil {
 		s.mux.HandleFunc("GET /v1/alerts", s.auth(s.alerts.ServeList))
@@ -218,13 +229,45 @@ func (s *Server) handlePipeline(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// snapped binds a snapshot-scoped handler to whatever snapshot is current
-// when the request arrives. The handler keeps that snapshot for its whole
-// lifetime, so a concurrent Swap can never tear a response.
-func (s *Server) snapped(h func(*Snapshot, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// view binds a snapshot-scoped read handler to whatever snapshot is
+// current when the request arrives. The handler keeps that snapshot —
+// dataset, results, and materialized views — for its whole lifetime, so a
+// concurrent Swap can never tear or mix generations within a response.
+// The wrapper owns the caching contract: it stamps the snapshot's strong
+// ETag and Cache-Control on every response (errors included — they are
+// derived from the same snapshot state) and answers a matching
+// If-None-Match with 304 before any handler work runs.
+func (s *Server) view(h func(*Snapshot, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		h(s.snap.Load(), w, r)
+		sn := s.snap.Load()
+		hdr := w.Header()
+		hdr.Set("ETag", sn.etag)
+		hdr.Set("Cache-Control", "private, must-revalidate")
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, sn.etag) {
+			s.notModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		h(sn, w, r)
 	}
+}
+
+// etagMatch implements If-None-Match for a strong validator: "*" matches
+// anything, otherwise the comma-separated candidate list is compared
+// exactly (a weak W/ prefix is tolerated and stripped — the weak form of
+// a strong tag still identifies the same snapshot).
+func etagMatch(inm, etag string) bool {
+	if strings.TrimSpace(inm) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // ServeHTTP implements http.Handler. A panicking handler is recovered so
@@ -243,6 +286,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		log.Printf("apiserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 		writeError(w, http.StatusInternalServerError, "internal server error")
 	}()
+	s.requests.Add(1)
 	s.handler.ServeHTTP(w, r)
 }
 
@@ -284,12 +328,60 @@ func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// bufPool recycles encoding buffers across requests so the steady-state
+// read path allocates the response value but not the serialization
+// scratch. Buffers that grew past a page-cache-friendly ceiling are
+// dropped rather than pinned forever.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+// writeJSON encodes v through a pooled buffer and writes it with a
+// Content-Length. The wire bytes are exactly what the former
+// direct-to-ResponseWriter encoder produced: two-space indent plus the
+// encoder's trailing newline.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client went away
+	if err := enc.Encode(v); err != nil {
+		bufPool.Put(buf)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes()) //nolint:errcheck // client went away
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// writePooledBody has fill assemble the body into a pooled buffer (the
+// matview page builders append pre-encoded rows), then writes it with a
+// Content-Length — the no-encoder path for parameterized endpoints.
+func writePooledBody(w http.ResponseWriter, status int, fill func(*bytes.Buffer)) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	fill(buf)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes()) //nolint:errcheck // client went away
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// writeBody writes a pre-encoded JSON body (a matview static table) —
+// the zero-encoding fast path for parameterless endpoints.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body) //nolint:errcheck // client went away
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -350,49 +442,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (sn *Snapshot) handleSummary(w http.ResponseWriter, _ *http.Request) {
-	bs := sn.res.Analyzer.Backscatter()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"summary":     sn.res.Summary,
-		"backscatter": bs,
-		"statTests":   sn.res.StatTests,
-	})
+	writeBody(w, http.StatusOK, sn.views.SummaryBody())
 }
 
-// deviceDTO is the device wire shape.
-type deviceDTO struct {
-	ID          int      `json:"id"`
-	IP          string   `json:"ip"`
-	Category    string   `json:"category"`
-	Type        string   `json:"type"`
-	Country     string   `json:"country"`
-	ISP         string   `json:"isp"`
-	Services    []string `json:"services,omitempty"`
-	FirstSeen   int      `json:"firstSeenHour"`
-	Packets     uint64   `json:"packets"`
-	Scanning    uint64   `json:"scanningPackets"`
-	Backscatter uint64   `json:"backscatterPackets"`
-	UDP         uint64   `json:"udpPackets"`
-}
-
-func (sn *Snapshot) deviceDTO(id int) deviceDTO {
-	d := sn.ds.Inventory.At(id)
-	st := sn.res.Correlate.Devices[id]
-	dto := deviceDTO{
-		ID: id, IP: d.IP.String(),
-		Category: d.Category.String(), Type: d.Type.String(),
-		Country: d.Country, ISP: sn.ds.Registry.ISPs[d.ISP].Name,
-		Services: d.Services,
-	}
-	if st != nil {
-		dto.FirstSeen = st.FirstSeen
-		dto.Packets = st.TotalPackets()
-		dto.Scanning = st.Packets[classify.ScanTCP.Index()] + st.Packets[classify.ScanICMP.Index()]
-		dto.Backscatter = st.Packets[classify.Backscatter.Index()]
-		dto.UDP = st.Packets[classify.UDP.Index()]
-	}
-	return dto
-}
-
+// handleDevices pages through the materialized device index. Two
+// pagination modes share the filter validation: classic offset paging
+// (the original wire contract, byte-identical), and opaque-cursor paging
+// (?cursor=start, then follow nextCursor) whose resume cost is a binary
+// search instead of an O(offset) skip.
 func (sn *Snapshot) handleDevices(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	country := q.Get("country")
@@ -403,41 +460,37 @@ func (sn *Snapshot) handleDevices(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	limit := parseIntDefault(q.Get("limit"), 100)
-	offset := parseIntDefault(q.Get("offset"), 0)
-	if limit < 1 || limit > 1000 || offset < 0 {
-		writeError(w, http.StatusBadRequest, "limit must be 1..1000, offset >= 0")
+	limit, ok := intParam(w, q.Get("limit"), 100, 1, 1000, "limit must be 1..1000")
+	if !ok {
 		return
 	}
 
-	ids := make([]int, 0, len(sn.res.Correlate.Devices))
-	for id := range sn.res.Correlate.Devices {
-		d := sn.ds.Inventory.At(id)
-		if country != "" && d.Country != country {
-			continue
+	if cursor := q.Get("cursor"); cursor != "" {
+		if q.Get("offset") != "" {
+			writeError(w, http.StatusBadRequest, "cursor and offset are mutually exclusive")
+			return
 		}
-		if catFilter != "" && d.Category.String() != catFilter {
-			continue
+		afterID := -1
+		if cursor != "start" {
+			cCountry, cCat, cAfter, err := matview.DecodeCursor(cursor)
+			if err != nil || cCountry != country || cCat != catFilter {
+				writeError(w, http.StatusBadRequest, "bad cursor")
+				return
+			}
+			afterID = cAfter
 		}
-		ids = append(ids, id)
+		writePooledBody(w, http.StatusOK, func(buf *bytes.Buffer) {
+			sn.views.AppendDevicesAfterBody(buf, country, catFilter, afterID, limit)
+		})
+		return
 	}
-	sort.Ints(ids)
-	total := len(ids)
-	if offset > len(ids) {
-		offset = len(ids)
+
+	offset, ok := intParam(w, q.Get("offset"), 0, 0, maxInt, "offset must be >= 0")
+	if !ok {
+		return
 	}
-	ids = ids[offset:]
-	if len(ids) > limit {
-		ids = ids[:limit]
-	}
-	out := make([]deviceDTO, len(ids))
-	for i, id := range ids {
-		out[i] = sn.deviceDTO(id)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"total":   total,
-		"offset":  offset,
-		"devices": out,
+	writePooledBody(w, http.StatusOK, func(buf *bytes.Buffer) {
+		sn.views.AppendDeviceSliceBody(buf, country, catFilter, offset, limit)
 	})
 }
 
@@ -447,16 +500,12 @@ func (sn *Snapshot) handleDevice(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad device id")
 		return
 	}
-	if _, ok := sn.res.Correlate.Devices[id]; !ok {
+	dto, ok := sn.views.Device(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, "device not inferred")
 		return
 	}
-	dto := sn.deviceDTO(id)
-	threats := sn.ds.Threat.CategoriesOf(sn.ds.Inventory.At(id).IP)
-	cats := make([]string, len(threats))
-	for i, c := range threats {
-		cats[i] = c.String()
-	}
+	cats, _ := sn.views.ThreatCategories(id)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"device":           dto,
 		"threatCategories": cats,
@@ -469,141 +518,60 @@ func (sn *Snapshot) handleThreats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad IP")
 		return
 	}
-	events := sn.ds.Threat.Query(ip)
-	type eventDTO struct {
-		Category string `json:"category"`
-		Source   string `json:"source"`
-		Day      int    `json:"day"`
-	}
-	out := make([]eventDTO, len(events))
-	for i, ev := range events {
-		out[i] = eventDTO{Category: ev.Category.String(), Source: ev.Source, Day: ev.Day}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"ip": ip.String(), "events": out})
-}
-
-func (sn *Snapshot) handleSpikes(w http.ResponseWriter, r *http.Request) {
-	threshold := 8.0
-	if v := r.URL.Query().Get("threshold"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 1 {
-			writeError(w, http.StatusBadRequest, "threshold must be > 1")
-			return
-		}
-		threshold = f
-	}
-	spikes := sn.res.Analyzer.DetectDoSSpikes(threshold)
-	type spikeDTO struct {
-		StartHour int     `json:"startHour"`
-		EndHour   int     `json:"endHour"`
-		Packets   uint64  `json:"packets"`
-		Victim    int     `json:"victimDevice"`
-		Share     float64 `json:"victimShare"`
-		Country   string  `json:"country"`
-		Category  string  `json:"category"`
-	}
-	out := make([]spikeDTO, len(spikes))
-	for i, sp := range spikes {
-		d := sn.ds.Inventory.At(sp.TopDevice)
-		out[i] = spikeDTO{
-			StartHour: sp.StartHour, EndHour: sp.EndHour, Packets: sp.Packets,
-			Victim: sp.TopDevice, Share: sp.TopShare,
-			Country: d.Country, Category: d.Category.String(),
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"threshold": threshold, "spikes": out})
-}
-
-func (sn *Snapshot) handleTCPPorts(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"services": sn.res.Analyzer.TopScanServices(analysis.DefaultScanServices()),
+		"ip":     ip.String(),
+		"events": sn.views.ThreatEvents(ip),
 	})
 }
 
-func (sn *Snapshot) handleUDPPorts(w http.ResponseWriter, r *http.Request) {
-	n := parseIntDefault(r.URL.Query().Get("n"), 10)
-	if n < 1 || n > 1000 {
-		writeError(w, http.StatusBadRequest, "n must be 1..1000")
+func (sn *Snapshot) handleSpikes(w http.ResponseWriter, r *http.Request) {
+	threshold, ok := floatParamGreaterThan(w, r.URL.Query().Get("threshold"), 8.0, 1,
+		"threshold must be > 1")
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ports": sn.res.Analyzer.TopUDPPorts(n)})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold": threshold,
+		"spikes":    sn.views.DoSSpikes(threshold),
+	})
+}
+
+func (sn *Snapshot) handleTCPPorts(w http.ResponseWriter, _ *http.Request) {
+	writeBody(w, http.StatusOK, sn.views.TCPPortsBody())
+}
+
+func (sn *Snapshot) handleUDPPorts(w http.ResponseWriter, r *http.Request) {
+	n, ok := intParam(w, r.URL.Query().Get("n"), 10, 1, 1000, "n must be 1..1000")
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ports": sn.views.TopUDP(n)})
 }
 
 // Signature is a derived IoT attack signature (the paper's contribution 2:
 // "the analyzed traffic could be leveraged to design such signatures").
-type Signature struct {
-	Name        string   `json:"name"`
-	Protocol    string   `json:"protocol"`
-	Ports       []uint16 `json:"ports"`
-	PacketShare float64  `json:"packetShare"`
-	Devices     int      `json:"devices"`
-	Realm       string   `json:"dominantRealm"`
-}
+// The table itself is materialized per snapshot; the type lives with it.
+type Signature = matview.Signature
 
 func (sn *Snapshot) handleSignatures(w http.ResponseWriter, _ *http.Request) {
-	var sigs []Signature
-	for _, row := range sn.res.Analyzer.TopScanServices(analysis.DefaultScanServices()) {
-		if row.Packets == 0 {
-			continue
-		}
-		realm := "cps"
-		if row.ConsumerPct >= 50 {
-			realm = "consumer"
-		}
-		sigs = append(sigs, Signature{
-			Name: row.Service, Protocol: "tcp-syn", Ports: row.Ports,
-			PacketShare: row.Pct, Devices: row.ConsumerDevices + row.CPSDevices,
-			Realm: realm,
-		})
-	}
-	for _, row := range sn.res.Analyzer.TopUDPPorts(10) {
-		sigs = append(sigs, Signature{
-			Name:     fmt.Sprintf("udp-%d", row.Port),
-			Protocol: "udp", Ports: []uint16{row.Port},
-			PacketShare: row.Pct, Devices: row.Devices, Realm: "mixed",
-		})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"signatures": sigs})
+	writeBody(w, http.StatusOK, sn.views.SignaturesBody())
 }
 
 func (sn *Snapshot) handleCampaigns(w http.ResponseWriter, _ *http.Request) {
-	campaigns, err := campaign.Detect(sn.res.Correlate, campaign.DefaultConfig())
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"campaigns": campaigns})
+	writeBody(w, http.StatusOK, sn.views.CampaignsBody())
 }
 
 // handleReports serves the per-ISP abuse notification bundles (the paper's
 // "IoT-tailored notifications ... permitting rapid remediation").
 func (sn *Snapshot) handleReports(w http.ResponseWriter, r *http.Request) {
-	minDevices := parseIntDefault(r.URL.Query().Get("minDevices"), 1)
-	if minDevices < 1 {
-		writeError(w, http.StatusBadRequest, "minDevices must be >= 1")
+	minDevices, ok := intParam(w, r.URL.Query().Get("minDevices"), 1, 1, maxInt,
+		"minDevices must be >= 1")
+	if !ok {
 		return
 	}
-	bundles := notify.Build(sn.res.Correlate, sn.ds.Inventory, sn.ds.Registry,
-		sn.ds.Threat, notify.Config{MinDevices: minDevices, MinPackets: 1})
-	writeJSON(w, http.StatusOK, map[string]any{"reports": bundles})
+	writeJSON(w, http.StatusOK, map[string]any{"reports": sn.views.Reports(minDevices)})
 }
 
 func (sn *Snapshot) handleMalware(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"hashes":   sn.res.Malware.Hashes,
-		"domains":  sn.res.Malware.Domains,
-		"families": sn.res.Malware.Families,
-		"devices":  sn.res.Malware.MatchedDevices,
-	})
-}
-
-func parseIntDefault(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		return -1
-	}
-	return v
+	writeBody(w, http.StatusOK, sn.views.MalwareBody())
 }

@@ -23,7 +23,7 @@ var (
 
 const testToken = "test-token-123"
 
-func loadServer(t *testing.T) *Server {
+func loadServer(t testing.TB) *Server {
 	t.Helper()
 	srvOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "apiserve-*")

@@ -28,6 +28,7 @@ import (
 	"iotscope/internal/flowtuple"
 	"iotscope/internal/geo"
 	"iotscope/internal/malwaredb"
+	"iotscope/internal/matview"
 	"iotscope/internal/netx"
 	"iotscope/internal/pipeline"
 	"iotscope/internal/rng"
@@ -253,6 +254,12 @@ type Results struct {
 	StatTests analysis.StatTests
 	Threat    threatintel.Investigation
 	Malware   malwaredb.Correlation
+
+	// Views is the materialized read side built by the materialize stage:
+	// every aggregate the serving layer answers from, precomputed once per
+	// analysis. Excluded from JSON because it is derived state — two
+	// Results are equivalent iff the fields above are.
+	Views *matview.Views `json:"-"`
 }
 
 // Stage names of the analysis pipeline, in run order. Every tool that
@@ -263,6 +270,7 @@ const (
 	StageStatTests    = "stat-tests"
 	StageThreatIntel  = "threat-intel"
 	StageMalware      = "malware"
+	StageMaterialize  = "materialize"
 )
 
 // Stage names of the snapshot-load pipeline (see LoadSnapshot), plus the
@@ -425,6 +433,32 @@ func (ds *Dataset) DownstreamStages(cfg Config, out *Results) []pipeline.Stage {
 			m := pipeline.Meter(ctx)
 			m.RecordsIn = uint64(len(ips))
 			m.RecordsOut = uint64(len(out.Malware.MatchedDevices))
+			return nil
+		}),
+		pipeline.Func(StageMaterialize, func(ctx context.Context, st *pipeline.State) error {
+			// Read-side materialization: precompute every aggregate the
+			// serving layer answers from, so request cost is O(answer)
+			// regardless of dataset size (see internal/matview).
+			v, err := matview.Build(matview.Sources{
+				Result:    out.Correlate,
+				Analyzer:  out.Analyzer,
+				Summary:   out.Summary,
+				StatTests: out.StatTests,
+				Malware:   out.Malware,
+				Inventory: ds.Inventory,
+				Registry:  ds.Registry,
+				Threat:    ds.Threat,
+			})
+			if err != nil {
+				return fmt.Errorf("core: materialize: %w", err)
+			}
+			out.Views = v
+			vs := v.Stats()
+			m := pipeline.Meter(ctx)
+			m.RecordsIn = uint64(len(out.Correlate.Devices))
+			m.RecordsOut = uint64(v.NumDevices())
+			m.Note = fmt.Sprintf("digest=%s static=%dB build=%.1fms",
+				vs.Digest, vs.StaticBytes, vs.BuildMillis)
 			return nil
 		}),
 	}

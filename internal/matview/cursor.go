@@ -1,0 +1,45 @@
+package matview
+
+import (
+	"encoding/base64"
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// ErrBadCursor is returned for any cursor the server did not mint:
+// undecodable, wrong version, wrong field count, or a non-numeric
+// position. Clients must treat cursors as opaque.
+var ErrBadCursor = errors.New("matview: bad cursor")
+
+const (
+	cursorVersion = "v1"
+	cursorSep     = "\x1f"
+)
+
+// EncodeCursor mints the opaque pagination cursor for /v1/devices: the
+// filter combination it was issued under plus the last device ID of the
+// page. Binding the filters in lets the server reject a cursor replayed
+// against different query parameters instead of silently returning a
+// page from another result set.
+func EncodeCursor(country, category string, afterID int) string {
+	raw := strings.Join([]string{cursorVersion, country, category, strconv.Itoa(afterID)}, cursorSep)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// DecodeCursor reverses EncodeCursor.
+func DecodeCursor(s string) (country, category string, afterID int, err error) {
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return "", "", 0, ErrBadCursor
+	}
+	parts := strings.Split(string(b), cursorSep)
+	if len(parts) != 4 || parts[0] != cursorVersion {
+		return "", "", 0, ErrBadCursor
+	}
+	afterID, err = strconv.Atoi(parts[3])
+	if err != nil {
+		return "", "", 0, ErrBadCursor
+	}
+	return parts[1], parts[2], afterID, nil
+}

@@ -1,0 +1,237 @@
+package matview_test
+
+// External test package so the fixture can run the real pipeline through
+// internal/core (which itself imports matview for the materialize stage).
+
+import (
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"iotscope/internal/core"
+	"iotscope/internal/matview"
+	"iotscope/internal/notify"
+)
+
+var (
+	mvOnce sync.Once
+	mvErr  error
+	mvDS   *core.Dataset
+	mvRes  *core.Results
+)
+
+func fixture(t *testing.T) (*core.Dataset, *core.Results, *matview.Views) {
+	t.Helper()
+	mvOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "matview-*")
+		if err != nil {
+			mvErr = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		cfg := core.DefaultConfig(0.004, 515)
+		cfg.Hours = 48
+		mvDS, mvErr = core.Generate(cfg, dir)
+		if mvErr != nil {
+			return
+		}
+		mvRes, mvErr = mvDS.Analyze(cfg)
+	})
+	if mvErr != nil {
+		t.Fatal(mvErr)
+	}
+	if mvRes.Views == nil {
+		t.Fatal("pipeline did not materialize views")
+	}
+	return mvDS, mvRes, mvRes.Views
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds, res, _ := fixture(t)
+	bad := []matview.Sources{
+		{},
+		{Analyzer: res.Analyzer, Inventory: ds.Inventory, Registry: ds.Registry},
+		{Result: res.Correlate, Inventory: ds.Inventory, Registry: ds.Registry},
+		{Result: res.Correlate, Analyzer: res.Analyzer, Registry: ds.Registry},
+		{Result: res.Correlate, Analyzer: res.Analyzer, Inventory: ds.Inventory},
+	}
+	for i, src := range bad {
+		if _, err := matview.Build(src); err == nil {
+			t.Errorf("case %d: incomplete sources accepted", i)
+		}
+	}
+	// Threat is optional: lookups are empty, not nil panics.
+	v, err := matview.Build(matview.Sources{
+		Result: res.Correlate, Analyzer: res.Analyzer,
+		Summary: res.Summary, StatTests: res.StatTests, Malware: res.Malware,
+		Inventory: ds.Inventory, Registry: ds.Registry,
+	})
+	if err != nil {
+		t.Fatalf("build without threat repo: %v", err)
+	}
+	if ev := v.ThreatEvents(ds.Inventory.At(0).IP); ev == nil || len(ev) != 0 {
+		t.Fatalf("threat-less views: events %v", ev)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	cases := []struct {
+		country, category string
+		afterID           int
+	}{
+		{"", "", -1}, {"RU", "", 0}, {"", "cps", 42},
+		{"US", "consumer", 1 << 30}, {"weird country", "with\x1fsep", 7},
+	}
+	for _, tc := range cases {
+		c := matview.EncodeCursor(tc.country, tc.category, tc.afterID)
+		country, category, afterID, err := matview.DecodeCursor(c)
+		if tc.category == "with\x1fsep" {
+			// A separator inside a field cannot round-trip; it must be
+			// rejected, never mis-parsed.
+			if err == nil {
+				t.Errorf("cursor with embedded separator decoded to %q %q %d", country, category, afterID)
+			}
+			continue
+		}
+		if err != nil || country != tc.country || category != tc.category || afterID != tc.afterID {
+			t.Errorf("round trip %+v → %q %q %d, %v", tc, country, category, afterID, err)
+		}
+	}
+
+	for _, bad := range []string{
+		"", "!!!", "bm90LWEtY3Vyc29y", // not base64 / not a cursor payload
+		"x" + matview.EncodeCursor("US", "cps", 5), // corrupted head: version check fails
+	} {
+		if _, _, _, err := matview.DecodeCursor(bad); err == nil {
+			t.Errorf("bad cursor %q accepted", bad)
+		}
+	}
+}
+
+// Offset paging and cursor paging must enumerate exactly the same rows.
+func TestDeviceSliceMatchesDevicesAfter(t *testing.T) {
+	ds, _, v := fixture(t)
+	if v.NumDevices() == 0 {
+		t.Fatal("fixture inferred no devices")
+	}
+	filters := [][2]string{{"", ""}, {"ZZ", ""}, {"", "consumer"}, {"", "cps"}}
+	if d, ok := v.Device(firstDeviceID(v)); ok {
+		filters = append(filters, [2]string{d.Country, ""}, [2]string{d.Country, d.Category})
+	}
+	_ = ds
+
+	for _, f := range filters {
+		country, category := f[0], f[1]
+		all, total := v.DeviceSlice(country, category, 0, -1)
+		if len(all) != total {
+			t.Fatalf("filter %v: slice %d rows, total %d", f, len(all), total)
+		}
+
+		var walked []matview.Device
+		afterID := -1
+		for {
+			page, cursorTotal, more := v.DevicesAfter(country, category, afterID, 3)
+			if cursorTotal != total {
+				t.Fatalf("filter %v: cursor total %d, offset total %d", f, cursorTotal, total)
+			}
+			walked = append(walked, page...)
+			if !more {
+				break
+			}
+			if len(page) == 0 {
+				t.Fatalf("filter %v: more=true with empty page", f)
+			}
+			afterID = page[len(page)-1].ID
+		}
+		if !reflect.DeepEqual(walked, all) && !(len(walked) == 0 && len(all) == 0) {
+			t.Fatalf("filter %v: cursor walk %d rows != offset slice %d rows", f, len(walked), len(all))
+		}
+	}
+
+	// Offset past the end: empty non-nil page, stable total.
+	page, total := v.DeviceSlice("", "", v.NumDevices()+100, 10)
+	if page == nil || len(page) != 0 || total != v.NumDevices() {
+		t.Fatalf("past-end slice: %v total %d", page, total)
+	}
+}
+
+func firstDeviceID(v *matview.Views) int {
+	page, _, _ := v.DevicesAfter("", "", -1, 1)
+	if len(page) == 0 {
+		return -1
+	}
+	return page[0].ID
+}
+
+func TestTopUDPPrefix(t *testing.T) {
+	_, res, v := fixture(t)
+	full := v.TopUDP(0)
+	if !reflect.DeepEqual(full, res.Analyzer.TopUDPPorts(0)) {
+		t.Fatal("materialized UDP table diverges from the analyzer's")
+	}
+	if len(full) > 3 {
+		if got := v.TopUDP(3); !reflect.DeepEqual(got, full[:3]) {
+			t.Fatal("TopUDP(3) is not the 3-row prefix")
+		}
+	}
+	if got := v.TopUDP(len(full) + 50); !reflect.DeepEqual(got, full) {
+		t.Fatal("oversized n does not return the full table")
+	}
+	if got := v.TopUDP(-1); !reflect.DeepEqual(got, full) {
+		t.Fatal("negative n does not return the full table")
+	}
+}
+
+// Filtering the MinDevices=1 table must equal building with the larger
+// floor — the property the /v1/reports materialization depends on.
+func TestReportsMatchesNotifyBuild(t *testing.T) {
+	ds, res, v := fixture(t)
+	for _, min := range []int{1, 2, 3, 10} {
+		want := notify.Build(res.Correlate, ds.Inventory, ds.Registry, ds.Threat,
+			notify.Config{MinDevices: min, MinPackets: 1})
+		got := v.Reports(min)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("minDevices=%d: materialized reports diverge (%d vs %d bundles)",
+				min, len(got), len(want))
+		}
+	}
+}
+
+// The inverted victim index must attribute spikes exactly like the
+// analyzer's per-episode device walk.
+func TestDoSSpikesMatchesAnalysis(t *testing.T) {
+	ds, res, v := fixture(t)
+	for _, threshold := range []float64{1.5, 2.5, 8, 100} {
+		want := res.Analyzer.DetectDoSSpikes(threshold)
+		got := v.DoSSpikes(threshold)
+		if len(got) != len(want) {
+			t.Fatalf("threshold %v: %d spikes, analyzer %d", threshold, len(got), len(want))
+		}
+		for i, sp := range want {
+			g := got[i]
+			d := ds.Inventory.At(sp.TopDevice)
+			if g.StartHour != sp.StartHour || g.EndHour != sp.EndHour ||
+				g.Packets != sp.Packets || g.Victim != sp.TopDevice ||
+				g.Share != sp.TopShare || g.Country != d.Country ||
+				g.Category != d.Category.String() {
+				t.Fatalf("threshold %v spike %d: %+v vs analyzer %+v", threshold, i, g, sp)
+			}
+		}
+	}
+}
+
+func TestStatsSanity(t *testing.T) {
+	_, _, v := fixture(t)
+	st := v.Stats()
+	if st.Devices != v.NumDevices() || st.Devices == 0 {
+		t.Fatalf("stats devices %d, views %d", st.Devices, v.NumDevices())
+	}
+	if st.StaticBytes == 0 || st.FilterLists == 0 || st.Digest == "" {
+		t.Fatalf("stats look empty: %+v", st)
+	}
+	// Every device appears in exactly 4 filter lists.
+	if st.FilterEntries != 4*st.Devices {
+		t.Fatalf("filter entries %d, want %d", st.FilterEntries, 4*st.Devices)
+	}
+}

@@ -109,6 +109,9 @@ type RateLimiter struct {
 	burst   float64
 	buckets map[string]*bucket
 	now     func() time.Time
+
+	allowed atomic.Uint64
+	denied  atomic.Uint64
 }
 
 type bucket struct {
@@ -163,9 +166,27 @@ func (rl *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
 	}
 	if b.tokens >= 1 {
 		b.tokens--
+		rl.allowed.Add(1)
 		return true, 0
 	}
+	rl.denied.Add(1)
 	return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+}
+
+// RateStats is a point-in-time snapshot of the per-key rate limiter.
+type RateStats struct {
+	Keys    int    `json:"keys"`
+	Allowed uint64 `json:"allowed"`
+	Denied  uint64 `json:"denied"`
+}
+
+// Stats snapshots the counters. Allowed/Denied count Allow decisions
+// (including those made on behalf of Wait).
+func (rl *RateLimiter) Stats() RateStats {
+	rl.mu.Lock()
+	keys := len(rl.buckets)
+	rl.mu.Unlock()
+	return RateStats{Keys: keys, Allowed: rl.allowed.Load(), Denied: rl.denied.Load()}
 }
 
 // Wait blocks until a token for key is available or the context is done.

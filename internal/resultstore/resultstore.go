@@ -158,6 +158,19 @@ func ReadCheckpoint(path string) (*correlate.CheckpointExport, error) {
 	return cp, nil
 }
 
+// DigestResult computes the content digest of a Result without touching
+// disk: the CRC32 of the exact bytes WriteResult would persist. Two results
+// that encode identically — the codec's byte-identity guarantee — share a
+// digest, so it is a stable content address for a served snapshot (the
+// read-side materialization layer derives HTTP ETags from it: same analyzed
+// state across restarts keeps validating cached responses).
+func DigestResult(res *correlate.Result) (uint32, error) {
+	if res == nil {
+		return 0, errors.New("resultstore: nil result")
+	}
+	return crc32.ChecksumIEEE(encode(KindResult, res.Export(), nil)), nil
+}
+
 // Verify replays the whole store — header, every section CRC, footer count
 // and digest, full payload parse — without building a live Result, and
 // returns its summary. This is the gate a server runs before committing to
