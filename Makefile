@@ -15,7 +15,7 @@ RACE_PKGS = ./internal/correlate ./internal/flowtuple ./internal/apiserve \
 	./cmd/iotwatch ./cmd/iotserve ./cmd/iotinfer ./cmd/iotreport \
 	./cmd/iotnotify
 
-.PHONY: check build test vet race fuzz bench benchall benchdiff chaos
+.PHONY: check build test vet race fuzz scenarios bench benchall benchdiff chaos
 
 # The full gate: tier-1 build/test plus vet and the race suite.
 check: vet build test race
@@ -38,14 +38,20 @@ race:
 
 # Bounded local fuzz budget for the binary decoders and the resolution
 # chain: the flowtuple reader, the result store codec, the outbound-queue
-# segment codec, the contact-resolver fault matrix, and the registry's
-# prefix-lookup boundaries.
+# segment codec, the contact-resolver fault matrix, the registry's
+# prefix-lookup boundaries, and the scenario config codec (JSON + TOML).
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/flowtuple
 	$(GO) test -fuzz=FuzzResultStore -fuzztime=30s ./internal/resultstore
 	$(GO) test -fuzz=FuzzOutQueue -fuzztime=30s ./internal/outqueue
 	$(GO) test -fuzz=FuzzResolve -fuzztime=15s ./internal/abusecontact
 	$(GO) test -fuzz=FuzzLookup -fuzztime=15s ./internal/geo
+	$(GO) test -fuzz=FuzzScenarioDecode -fuzztime=30s ./internal/wgen
+
+# Regenerate the bundled scenario files from their programmatic
+# definitions (TestBundledFilesAreCanonical pins the output).
+scenarios:
+	$(GO) run ./tools/scenariogen
 
 # Serving chaos suite: signal-driven lifecycle (SIGHUP reload under load,
 # corrupt-dataset reload, SIGTERM drain) plus HTTP admission-control and
@@ -63,7 +69,7 @@ chaos:
 BENCH_DATE ?= $(shell date +%F)
 BENCH_TAG ?= dev
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineCorrelateSharded$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$|BenchmarkServeSummary$$|BenchmarkServeSummaryLegacy$$|BenchmarkServeDevicesFilter$$|BenchmarkServeDevicesFilterLegacy$$|BenchmarkServeHTTPLoad$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkPipelineCorrelateSharded$$|BenchmarkPipelineStaged$$|BenchmarkIncrementalIngest$$|BenchmarkStreamIngest$$|BenchmarkSnapshotSave$$|BenchmarkSnapshotLoad$$|BenchmarkSnapshotAnalyze$$|BenchmarkServeSummary$$|BenchmarkServeSummaryLegacy$$|BenchmarkServeDevicesFilter$$|BenchmarkServeDevicesFilterLegacy$$|BenchmarkServeHTTPLoad$$|BenchmarkGenerate$$' \
 		-benchmem -benchtime 2s -count 3 . ./internal/apiserve \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag $(BENCH_TAG) > BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
 	$(GO) run ./tools/bench2json -extract BENCH_$(BENCH_DATE)-$(BENCH_TAG).json
@@ -73,9 +79,9 @@ bench:
 # fails; cross-machine baselines are skipped with a warning (see
 # tools/benchdiff).
 benchdiff:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkServeSummary$$|BenchmarkServeDevicesFilter$$' -benchmem -count 5 . ./internal/apiserve \
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineCorrelate$$|BenchmarkServeSummary$$|BenchmarkServeDevicesFilter$$|BenchmarkGenerate$$' -benchmem -count 5 . ./internal/apiserve \
 		| $(GO) run ./tools/bench2json -date $(BENCH_DATE) -tag gate > /tmp/bench-gate.json
-	$(GO) run ./tools/benchdiff -new /tmp/bench-gate.json -dir . -bench PipelineCorrelate,ServeSummary,ServeDevicesFilter -threshold 25
+	$(GO) run ./tools/benchdiff -new /tmp/bench-gate.json -dir . -bench PipelineCorrelate,ServeSummary,ServeDevicesFilter,Generate -threshold 25
 
 # Every benchmark in the repo, text output only.
 benchall:

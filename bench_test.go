@@ -774,3 +774,23 @@ func BenchmarkGenerateScale(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGenerate is the scenario-registry acceptance path: resolve the
+// bundled paper-default scenario, render a short window, and stamp the
+// dataset with its provenance files.
+func BenchmarkGenerate(b *testing.B) {
+	root := b.TempDir()
+	cfg := core.DefaultConfig(0.002, 1)
+	cfg.Hours = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("run-%d", i))
+		if _, err := core.Generate(cfg, dir); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,56 +1,113 @@
 // Command darksim synthesizes a complete telescope dataset: the hourly
 // flowtuple capture, the IoT inventory, and the threat-intelligence and
-// malware databases.
+// malware databases. The workload comes from a declarative scenario — a
+// bundled one by name, or an external JSON/TOML file — and every dataset is
+// stamped with a run manifest recording its exact provenance.
 //
 // Usage:
 //
-//	darksim -out DIR [-scale 0.02] [-seed 42] [-hours 143]
+//	darksim -out DIR [-scenario NAME|FILE] [-scale 0.02] [-seed 42] [-hours 0]
+//	darksim -list-scenarios
+//	darksim -print-config NAME|FILE
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"iotscope/internal/core"
+	"iotscope/internal/scenario"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "darksim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("darksim", flag.ContinueOnError)
 	var (
-		out   = fs.String("out", "", "output dataset directory (required)")
-		scale = fs.Float64("scale", 0.02, "population/volume scale (1.0 = paper magnitudes)")
-		seed  = fs.Uint64("seed", 1, "master seed")
-		hours = fs.Int("hours", 0, "override the 143-hour window (0 keeps it)")
+		out     = fs.String("out", "", "output dataset directory (required)")
+		scn     = fs.String("scenario", scenario.DefaultName, "bundled scenario name[@version], or a path to a .json/.toml scenario file")
+		scale   = fs.Float64("scale", 0.02, "population/volume scale, in (0, 1] (1.0 = paper magnitudes)")
+		seed    = fs.Uint64("seed", 1, "master seed")
+		hours   = fs.Int("hours", 0, "override the scenario's hour window (0 keeps it)")
+		list    = fs.Bool("list-scenarios", false, "list the bundled scenario library and exit")
+		printCf = fs.String("print-config", "", "print a scenario's canonical config and hash, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		return listScenarios(stdout)
+	}
+	if *printCf != "" {
+		return printConfig(stdout, *printCf)
+	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale %v out of range (0, 1]", *scale)
+	}
+	if *hours < 0 {
+		return fmt.Errorf("-hours %d must not be negative", *hours)
 	}
 	cfg := core.DefaultConfig(*scale, *seed)
 	cfg.Hours = *hours
 
-	fmt.Printf("generating dataset: scale=%v seed=%d -> %s\n", *scale, *seed, *out)
-	ds, err := core.Generate(cfg, *out)
+	rs, err := scenario.Resolve(*scn, scenario.Options{Scale: *scale, Seed: *seed, Hours: *hours})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "generating dataset: scenario=%s@%d scale=%v seed=%d hours=%d -> %s\n",
+		rs.Config.Name, rs.Config.Version, *scale, *seed, rs.Scenario.Hours, *out)
+	ds, err := core.GenerateScenario(cfg, rs, *out)
 	if err != nil {
 		return err
 	}
 	st := ds.GenStats
-	fmt.Printf("hours written:        %d\n", st.Collector.HoursWritten)
-	fmt.Printf("packets captured:     %d\n", st.Collector.PacketsObserved)
-	fmt.Printf("flowtuples persisted: %d\n", st.Collector.RecordsWritten)
-	fmt.Printf("inventory devices:    %d\n", ds.Inventory.Len())
-	fmt.Printf("compromised (truth):  %d\n", len(ds.Truth.Compromised))
-	fmt.Printf("threat events:        %d over %d IPs\n", ds.Threat.Len(), ds.Threat.NumIPs())
-	fmt.Printf("malware reports:      %d\n", ds.Malware.Len())
+	fmt.Fprintf(stdout, "hours written:        %d\n", st.Collector.HoursWritten)
+	fmt.Fprintf(stdout, "packets captured:     %d\n", st.Collector.PacketsObserved)
+	fmt.Fprintf(stdout, "flowtuples persisted: %d\n", st.Collector.RecordsWritten)
+	fmt.Fprintf(stdout, "inventory devices:    %d\n", ds.Inventory.Len())
+	fmt.Fprintf(stdout, "compromised (truth):  %d\n", len(ds.Truth.Compromised))
+	fmt.Fprintf(stdout, "threat events:        %d over %d IPs\n", ds.Threat.Len(), ds.Threat.NumIPs())
+	fmt.Fprintf(stdout, "malware reports:      %d\n", ds.Malware.Len())
+	fmt.Fprintf(stdout, "config hash:          %s\n", ds.Manifest.ConfigHash)
+	return nil
+}
+
+// listScenarios prints one tab-separated line per bundled scenario:
+// ref, composed actor kinds, description. The format is stable so scripts
+// can cut -f1 it.
+func listScenarios(w io.Writer) error {
+	for _, m := range scenario.List() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", m.Ref(), strings.Join(m.Kinds, ","), m.Description)
+	}
+	return nil
+}
+
+// printConfig resolves a scenario reference the same way -scenario does and
+// prints its canonical JSON followed by the config hash.
+func printConfig(w io.Writer, ref string) error {
+	rs, err := scenario.Resolve(ref, scenario.Options{Scale: 1, Seed: 0})
+	if err != nil {
+		return err
+	}
+	canon, err := rs.Config.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(canon); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# config hash: %s\n", rs.ConfigHash)
 	return nil
 }

@@ -1,23 +1,41 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run(nil); err == nil {
-		t.Fatal("missing -out accepted")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing out", nil},
+		{"unknown flag", []string{"-bogus"}},
+		{"zero scale", []string{"-out", "x", "-scale", "0"}},
+		{"negative scale", []string{"-out", "x", "-scale", "-0.5"}},
+		{"scale above one", []string{"-out", "x", "-scale", "1.5"}},
+		{"negative hours", []string{"-out", "x", "-hours", "-1"}},
+		{"unknown scenario", []string{"-out", "x", "-scenario", "no-such-scenario"}},
+		{"unknown scenario version", []string{"-out", "x", "-scenario", "paper-default@99"}},
+		{"missing scenario file", []string{"-out", "x", "-scenario", "no/such/file.json"}},
 	}
-	if err := run([]string{"-bogus"}); err == nil {
-		t.Fatal("unknown flag accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args, io.Discard); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
 	}
 }
 
 func TestRunGeneratesDataset(t *testing.T) {
 	dir := t.TempDir()
-	err := run([]string{"-out", dir, "-scale", "0.002", "-seed", "3", "-hours", "4"})
+	err := run([]string{"-out", dir, "-scale", "0.002", "-seed", "3", "-hours", "4"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,9 +43,65 @@ func TestRunGeneratesDataset(t *testing.T) {
 		"scenario.json", "inventory.jsonl", "threat-events.jsonl",
 		"malware-reports.xml", "malware-catalog.jsonl", "truth.json",
 		"hour-000.ft.gz", "hour-003.ft.gz",
+		"scenario-config.json", "run.json",
 	} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Errorf("missing %s: %v", name, err)
 		}
+	}
+}
+
+func TestRunScenarioByName(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-scenario", "stealth-scan@1",
+		"-scale", "0.002", "-seed", "3", "-hours", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scenario=stealth-scan@1") {
+		t.Errorf("output does not name the scenario:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "config hash:          sha256:") {
+		t.Errorf("output does not report the config hash:\n%s", out.String())
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("expected at least 8 bundled scenarios, got %d:\n%s", len(lines), out.String())
+	}
+	var sawDefault bool
+	for _, l := range lines {
+		fields := strings.SplitN(l, "\t", 3)
+		if len(fields) != 3 {
+			t.Errorf("line not ref<TAB>kinds<TAB>description: %q", l)
+			continue
+		}
+		if fields[0] == "paper-default@1" {
+			sawDefault = true
+		}
+	}
+	if !sawDefault {
+		t.Error("paper-default@1 not listed")
+	}
+}
+
+func TestPrintConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-print-config", "paper-default"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `"Name": "paper-default"`) {
+		t.Errorf("canonical config missing name:\n%.400s", s)
+	}
+	if !strings.Contains(s, "# config hash: sha256:") {
+		t.Error("hash trailer missing")
 	}
 }

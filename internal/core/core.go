@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
@@ -32,6 +33,7 @@ import (
 	"iotscope/internal/netx"
 	"iotscope/internal/pipeline"
 	"iotscope/internal/rng"
+	"iotscope/internal/scenario"
 	"iotscope/internal/threatintel"
 	"iotscope/internal/wgen"
 )
@@ -103,17 +105,35 @@ type Dataset struct {
 
 	// GenStats is populated by Generate (zero when Opened).
 	GenStats wgen.RunStats
+
+	// Manifest is the dataset's run provenance (scenario name and version,
+	// resolved seed/scale/hours, config hash, generator versions), verified
+	// on Open. Nil only for legacy datasets predating provenance stamping.
+	Manifest *scenario.RunManifest
 }
 
-// Generate synthesizes a complete dataset into dir.
+// Generate synthesizes a complete dataset into dir from the bundled
+// paper-default scenario — the library form of the paper's evaluation run.
 func Generate(cfg Config, dir string) (*Dataset, error) {
+	rs, err := scenario.Resolve(scenario.DefaultName, scenario.Options{
+		Scale: cfg.Scale,
+		Seed:  cfg.Seed,
+		Hours: cfg.Hours,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return GenerateScenario(cfg, rs, dir)
+}
+
+// GenerateScenario synthesizes a complete dataset into dir from a resolved
+// scenario, stamping it with the provenance files (scenario-config.json and
+// run.json) that Open verifies.
+func GenerateScenario(cfg Config, rs *scenario.Resolved, dir string) (*Dataset, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	sc := wgen.Default(cfg.Scale, cfg.Seed)
-	if cfg.Hours > 0 {
-		sc.Hours = cfg.Hours
-	}
+	sc := rs.Scenario
 	gen, err := wgen.New(sc)
 	if err != nil {
 		return nil, err
@@ -130,6 +150,7 @@ func Generate(cfg Config, dir string) (*Dataset, error) {
 		Registry:  gen.Registry(),
 		Truth:     gen.Truth(),
 		GenStats:  stats,
+		Manifest:  rs.Manifest(),
 	}
 
 	// Threat intelligence and malware corpora, biased by ground truth.
@@ -149,6 +170,11 @@ func Generate(cfg Config, dir string) (*Dataset, error) {
 
 	if err := ds.persist(); err != nil {
 		return nil, err
+	}
+	// Provenance goes last: run.json is the commit record, so a dataset
+	// carrying it is complete.
+	if err := scenario.WriteRunFiles(dir, rs); err != nil {
+		return nil, fmt.Errorf("core: stamp provenance: %w", err)
 	}
 	return ds, nil
 }
@@ -241,6 +267,21 @@ func Open(dir string) (*Dataset, error) {
 	}
 	if err := readJSON(filepath.Join(dir, TruthFile), &ds.Truth); err != nil {
 		return nil, fmt.Errorf("core: load truth: %w", err)
+	}
+	m, err := scenario.VerifyDir(dir)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Legacy dataset from before provenance stamping: usable, unstamped.
+	case err != nil:
+		return nil, fmt.Errorf("core: verify provenance: %w", err)
+	default:
+		// The manifest must also agree with the dataset it travels with.
+		if m.Seed != ds.Scenario.Seed || m.Scale != ds.Scenario.Scale || m.Hours != ds.Scenario.Hours {
+			return nil, fmt.Errorf("core: verify provenance: %w: manifest run inputs (seed=%d scale=%v hours=%d) disagree with scenario (seed=%d scale=%v hours=%d)",
+				scenario.ErrManifestMismatch, m.Seed, m.Scale, m.Hours,
+				ds.Scenario.Seed, ds.Scenario.Scale, ds.Scenario.Hours)
+		}
+		ds.Manifest = m
 	}
 	return ds, nil
 }

@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iotscope/internal/faultfs"
+)
+
+func stampedDir(t *testing.T) (string, *Resolved) {
+	t.Helper()
+	rs, err := Resolve("stealth-scan@1", Options{Scale: 0.002, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteRunFiles(dir, rs); err != nil {
+		t.Fatal(err)
+	}
+	return dir, rs
+}
+
+func TestWriteVerifyRoundTrip(t *testing.T) {
+	dir, rs := stampedDir(t)
+	m, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ConfigHash != rs.ConfigHash {
+		t.Fatalf("verified hash %s, resolved %s", m.ConfigHash, rs.ConfigHash)
+	}
+	if m.Scenario != "stealth-scan" || m.Version != 1 {
+		t.Fatalf("manifest names %s@%d", m.Scenario, m.Version)
+	}
+	if m.Source != "bundled:stealth-scan@1" {
+		t.Fatalf("source %q", m.Source)
+	}
+	// No temp files left behind by the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// A directory with no manifest is a legacy dataset, reported as
+// fs.ErrNotExist so callers can fall back rather than fail.
+func TestVerifyDirLegacy(t *testing.T) {
+	if _, err := VerifyDir(t.TempDir()); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("expected fs.ErrNotExist for a bare directory, got %v", err)
+	}
+}
+
+// Provenance corruption table: every tampering mode must fail verification
+// with ErrManifestMismatch — never pass, never misclassify as legacy.
+func TestVerifyDirCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+	}{
+		{"config bit flip", func(t *testing.T, dir string) {
+			if err := faultfs.BitFlip(filepath.Join(dir, ConfigFile), 300, 0x40); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"config truncated", func(t *testing.T, dir string) {
+			if err := faultfs.TruncateTail(filepath.Join(dir, ConfigFile), 120); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"config trailing garbage", func(t *testing.T, dir string) {
+			if err := faultfs.AppendTail(filepath.Join(dir, ConfigFile), []byte("{}")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"config swapped for another scenario", func(t *testing.T, dir string) {
+			other, err := Load("mirai-wave")
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon, err := other.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, ConfigFile), canon, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"config missing", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, ConfigFile)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"manifest unreadable", func(t *testing.T, dir string) {
+			if err := faultfs.Overwrite(filepath.Join(dir, ManifestFile), 0, []byte("!!")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"manifest hash forged", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, ManifestFile)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forged := strings.Replace(string(data), "sha256:", "sha256:0000", 1)
+			if err := os.WriteFile(path, []byte(forged), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"manifest implausible scale", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, ManifestFile)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forged := strings.Replace(string(data), `"Scale": 0.002`, `"Scale": 40`, 1)
+			if forged == string(data) {
+				t.Fatal("scale field not found to forge")
+			}
+			if err := os.WriteFile(path, []byte(forged), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, _ := stampedDir(t)
+			tc.corrupt(t, dir)
+			_, err := VerifyDir(dir)
+			if err == nil {
+				t.Fatal("tampered dataset verified")
+			}
+			if errors.Is(err, fs.ErrNotExist) && tc.name != "manifest missing" {
+				if tc.name != "config missing" {
+					t.Fatalf("tampering misreported as legacy: %v", err)
+				}
+			}
+			if !errors.Is(err, ErrManifestMismatch) {
+				t.Fatalf("error %v does not wrap ErrManifestMismatch", err)
+			}
+		})
+	}
+}
+
+// A manifest alone (config deleted after a partial copy) must not verify,
+// and a config alone must read as legacy — run.json is the commit record.
+func TestVerifyDirPartialCopies(t *testing.T) {
+	dir, rs := stampedDir(t)
+	configOnly := t.TempDir()
+	data, err := os.ReadFile(filepath.Join(dir, ConfigFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(configOnly, ConfigFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyDir(configOnly); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("config-only dir should read as legacy, got %v", err)
+	}
+	_ = rs
+}

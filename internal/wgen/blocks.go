@@ -1,0 +1,272 @@
+package wgen
+
+import "fmt"
+
+// The paper's workload is one fixed 143-hour trace; the blocks below open
+// workload shapes from related work so the pipeline can be tested against
+// behaviours the paper never exercised. All populations and aggregate
+// volumes are full-scale (multiplied by Scenario.Scale at resolve time);
+// per-device behaviour is scale-invariant, matching the rest of wgen.
+
+// MiraiWaveConfig scripts a Mirai-style worm propagation wave (Choi et
+// al., PAPERS.md): infections follow a logistic ramp, each bot floods
+// telnet-style ports for a bounded lifetime, then churns out — the
+// endpoint-churn pattern real IoT botnets show.
+type MiraiWaveConfig struct {
+	// Devices is the full-scale infected population.
+	Devices int
+	// StartHour is when patient zero appears; RampHours is how long the
+	// logistic infection ramp takes to saturate.
+	StartHour int
+	RampHours int
+	// LifetimeMinHours/MaxHours bound each bot's active lifetime before it
+	// churns out (reboot, disinfection, re-NAT).
+	LifetimeMinHours int
+	LifetimeMaxHours int
+	// PacketsPerHour is each bot's scan intensity while alive
+	// (scale-invariant, like all per-device behaviour).
+	PacketsPerHour float64
+	// Ports are the scanned ports; the first dominates (telnet 23).
+	Ports []uint16
+}
+
+// Kind returns "mirai-wave".
+func (c *MiraiWaveConfig) Kind() string { return KindMiraiWave }
+func (c *MiraiWaveConfig) apply(sc *Scenario) {
+	v := *c
+	sc.MiraiWave = &v
+}
+func (c *MiraiWaveConfig) validate(path string, bad *badConfig) {
+	if c.Devices <= 0 {
+		bad.addf(path+".Devices", "%d must be positive", c.Devices)
+	}
+	if c.StartHour < 0 {
+		bad.addf(path+".StartHour", "%d must be non-negative", c.StartHour)
+	}
+	if c.RampHours <= 0 {
+		bad.addf(path+".RampHours", "%d must be positive", c.RampHours)
+	}
+	if c.LifetimeMinHours <= 0 || c.LifetimeMaxHours < c.LifetimeMinHours {
+		bad.addf(path+".LifetimeMinHours", "bad lifetime bounds [%d, %d]", c.LifetimeMinHours, c.LifetimeMaxHours)
+	}
+	if c.PacketsPerHour <= 0 {
+		bad.addf(path+".PacketsPerHour", "%v must be positive", c.PacketsPerHour)
+	}
+	if len(c.Ports) == 0 {
+		bad.addf(path+".Ports", "empty")
+	}
+	for i, p := range c.Ports {
+		if p == 0 {
+			bad.addf(fmt.Sprintf("%s.Ports[%d]", path, i), "port 0")
+		}
+	}
+}
+
+// AmplificationService is one reflector protocol in a UDP amplification
+// attack: the source port identifies the abused service.
+type AmplificationService struct {
+	Name string
+	// Port is the reflector's UDP source port (NTP 123, DNS 53, SSDP 1900).
+	Port uint16
+	// Share is the service's share of reflected packets (%).
+	Share float64
+}
+
+// UDPAmplificationConfig models the victim-side view of a UDP
+// amplification attack: compromised devices abused as reflectors spray
+// large UDP responses whose spoofed targets partially land in the
+// telescope. Distinct from BackscatterConfig: these are UDP payloads from
+// well-known service source ports, not TCP SYN-ACK/RST replies.
+type UDPAmplificationConfig struct {
+	// Reflectors is the full-scale abused-device population.
+	Reflectors int
+	// HourlyPackets is the full-scale aggregate reflected volume per hour.
+	HourlyPackets float64
+	Services      []AmplificationService
+	// MinLen/MaxLen bound the amplified payload sizes (bytes).
+	MinLen int
+	MaxLen int
+}
+
+// Kind returns "udp-amplification".
+func (c *UDPAmplificationConfig) Kind() string { return KindUDPAmplification }
+func (c *UDPAmplificationConfig) apply(sc *Scenario) {
+	v := *c
+	sc.UDPAmplification = &v
+}
+func (c *UDPAmplificationConfig) validate(path string, bad *badConfig) {
+	if c.Reflectors <= 0 {
+		bad.addf(path+".Reflectors", "%d must be positive", c.Reflectors)
+	}
+	if c.HourlyPackets <= 0 {
+		bad.addf(path+".HourlyPackets", "%v must be positive", c.HourlyPackets)
+	}
+	if len(c.Services) == 0 {
+		bad.addf(path+".Services", "empty")
+	}
+	total := 0.0
+	for i, s := range c.Services {
+		p := fmt.Sprintf("%s.Services[%d]", path, i)
+		if s.Name == "" {
+			bad.addf(p+".Name", "empty")
+		}
+		if s.Port == 0 {
+			bad.addf(p+".Port", "port 0")
+		}
+		if s.Share <= 0 {
+			bad.addf(p+".Share", "%v must be positive", s.Share)
+		}
+		total += s.Share
+	}
+	if len(c.Services) > 0 && (total < 99.999 || total > 100.001) {
+		bad.addf(path+".Services", "shares sum to %.4g%% (must be 100%%)", total)
+	}
+	if c.MinLen < 28 || c.MaxLen < c.MinLen {
+		bad.addf(path+".MinLen", "bad payload bounds [%d, %d]", c.MinLen, c.MaxLen)
+	}
+}
+
+// StealthScanConfig plants a slow, deliberately sub-threshold scan: a
+// small cohort probes one port at a handful of packets per hour — visible
+// to the correlator, but below any evidence-bundle notification floor. The
+// fixture for "the pipeline correctly ignores what it should".
+type StealthScanConfig struct {
+	// Scanners is the full-scale cohort size.
+	Scanners int
+	// Port is the single scanned port.
+	Port uint16
+	// PacketsPerHour is each scanner's intensity (scale-invariant; keep it
+	// low — that is the point).
+	PacketsPerHour float64
+}
+
+// Kind returns "stealth-scan".
+func (c *StealthScanConfig) Kind() string { return KindStealthScan }
+func (c *StealthScanConfig) apply(sc *Scenario) {
+	v := *c
+	sc.StealthScan = &v
+}
+func (c *StealthScanConfig) validate(path string, bad *badConfig) {
+	if c.Scanners <= 0 {
+		bad.addf(path+".Scanners", "%d must be positive", c.Scanners)
+	}
+	if c.Port == 0 {
+		bad.addf(path+".Port", "port 0")
+	}
+	if c.PacketsPerHour <= 0 {
+		bad.addf(path+".PacketsPerHour", "%v must be positive", c.PacketsPerHour)
+	}
+}
+
+// CPSCampaignService is one industrial protocol in a CPS campaign.
+type CPSCampaignService struct {
+	Name string
+	Port uint16
+	// Share is the service's share of campaign packets (%).
+	Share float64
+}
+
+// CPSCampaignConfig scripts a coordinated industrial-protocol scanning
+// campaign (Modbus 502, BACnet/IP 47808) carried out by CPS devices inside
+// a bounded window — the protocol-specific campaign shape the paper's
+// BackroomNet narrative hints at, generalized.
+type CPSCampaignConfig struct {
+	// Devices is the full-scale participating CPS population.
+	Devices int
+	// StartHour/DurationHours bound the campaign window; DurationHours 0
+	// means "until the end of the capture".
+	StartHour     int
+	DurationHours int
+	// HourlyPackets is the full-scale aggregate campaign volume per hour.
+	HourlyPackets float64
+	Services      []CPSCampaignService
+}
+
+// Kind returns "cps-campaign".
+func (c *CPSCampaignConfig) Kind() string { return KindCPSCampaign }
+func (c *CPSCampaignConfig) apply(sc *Scenario) {
+	v := *c
+	sc.CPSCampaign = &v
+}
+func (c *CPSCampaignConfig) validate(path string, bad *badConfig) {
+	if c.Devices <= 0 {
+		bad.addf(path+".Devices", "%d must be positive", c.Devices)
+	}
+	if c.StartHour < 0 {
+		bad.addf(path+".StartHour", "%d must be non-negative", c.StartHour)
+	}
+	if c.DurationHours < 0 {
+		bad.addf(path+".DurationHours", "%d must be non-negative", c.DurationHours)
+	}
+	if c.HourlyPackets <= 0 {
+		bad.addf(path+".HourlyPackets", "%v must be positive", c.HourlyPackets)
+	}
+	if len(c.Services) == 0 {
+		bad.addf(path+".Services", "empty")
+	}
+	total := 0.0
+	for i, s := range c.Services {
+		p := fmt.Sprintf("%s.Services[%d]", path, i)
+		if s.Name == "" {
+			bad.addf(p+".Name", "empty")
+		}
+		if s.Port == 0 {
+			bad.addf(p+".Port", "port 0")
+		}
+		if s.Share <= 0 {
+			bad.addf(p+".Share", "%v must be positive", s.Share)
+		}
+		total += s.Share
+	}
+	if len(c.Services) > 0 && (total < 99.999 || total > 100.001) {
+		bad.addf(path+".Services", "shares sum to %.4g%% (must be 100%%)", total)
+	}
+}
+
+// DiurnalBackgroundConfig adds smart-home background chatter (Mainuddin et
+// al., PAPERS.md) from sources OUTSIDE the device inventory, modulated by a
+// day/night cycle: mDNS/SSDP-style discovery noise that leaks toward the
+// telescope and that correlation must keep discarding even though its
+// volume breathes with the hour of day.
+type DiurnalBackgroundConfig struct {
+	// HourlyPackets is the full-scale volume at the diurnal peak.
+	HourlyPackets float64
+	// Sources is the full-scale distinct source population.
+	Sources int
+	// PeakHour is the hour-of-day (0..23) of maximum volume.
+	PeakHour int
+	// MinFactor is the trough volume as a fraction of the peak, in [0, 1].
+	MinFactor float64
+	// Ports are the destination ports the chatter lands on (mDNS 5353,
+	// SSDP 1900, WS-Discovery 3702).
+	Ports []uint16
+}
+
+// Kind returns "diurnal-background".
+func (c *DiurnalBackgroundConfig) Kind() string { return KindDiurnalBackground }
+func (c *DiurnalBackgroundConfig) apply(sc *Scenario) {
+	v := *c
+	sc.DiurnalBackground = &v
+}
+func (c *DiurnalBackgroundConfig) validate(path string, bad *badConfig) {
+	if c.HourlyPackets <= 0 {
+		bad.addf(path+".HourlyPackets", "%v must be positive", c.HourlyPackets)
+	}
+	if c.Sources <= 0 {
+		bad.addf(path+".Sources", "%d must be positive", c.Sources)
+	}
+	if c.PeakHour < 0 || c.PeakHour > 23 {
+		bad.addf(path+".PeakHour", "%d outside [0, 23]", c.PeakHour)
+	}
+	if c.MinFactor < 0 || c.MinFactor > 1 {
+		bad.addf(path+".MinFactor", "%v outside [0, 1]", c.MinFactor)
+	}
+	if len(c.Ports) == 0 {
+		bad.addf(path+".Ports", "empty")
+	}
+	for i, p := range c.Ports {
+		if p == 0 {
+			bad.addf(fmt.Sprintf("%s.Ports[%d]", path, i), "port 0")
+		}
+	}
+}

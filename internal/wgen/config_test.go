@@ -1,0 +1,351 @@
+package wgen
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testConfig returns a small valid config exercising both a core and an
+// extension block.
+func testConfig() *Config {
+	cfg := ConfigFromScenario(Default(1, 0), "test-config", 3, "hash fixture")
+	cfg.Hours = 12
+	cfg.Actors = append(cfg.Actors, ActorBlock{
+		Kind: KindStealthScan,
+		Params: &StealthScanConfig{
+			Scanners:       100,
+			Port:           8291,
+			PacketsPerHour: 3,
+		},
+	})
+	return cfg
+}
+
+// The config model is the exact declarative form of the hand-built default:
+// exporting the scenario and resolving the export reproduces it field for
+// field. This is the structural half of the paper-default byte-identity
+// pin (the rendered half lives in internal/scenario).
+func TestConfigRoundTripsDefaultScenario(t *testing.T) {
+	want := Default(0.37, 99)
+	cfg := ConfigFromScenario(want, "round-trip", 1, "x")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("exported default does not validate: %v", err)
+	}
+	got, err := cfg.Scenario(0.37, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("config round trip does not reproduce Default()")
+	}
+}
+
+// Canonical-JSON round trip: decode(encode(cfg)) is cfg.
+func TestCanonicalJSONRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	data, err := cfg.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, cfg) {
+		t.Fatal("canonical JSON round trip changed the config")
+	}
+}
+
+// The hash is canonical: reordering keys, reformatting, or re-encoding via
+// a different syntax must not change it; changing a semantic field must.
+func TestConfigHashStability(t *testing.T) {
+	cfg := testConfig()
+	h1, err := cfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(h1, "sha256:") {
+		t.Fatalf("hash %q lacks algorithm prefix", h1)
+	}
+
+	// Shuffle key order by bouncing the JSON through a generic map (Go
+	// marshals map keys sorted, i.e. in a different order than the struct).
+	canon, err := cfg.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(canon, &tree); err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(shuffled) == string(canon) {
+		t.Fatal("test vacuous: map re-marshal did not change the byte form")
+	}
+	cfg2, err := DecodeConfig(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := cfg2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h1 {
+		t.Fatalf("key reordering changed the hash: %s vs %s", h1, h2)
+	}
+
+	// A semantic change must change the hash.
+	cfg3 := testConfig()
+	cfg3.Hours = 13
+	h3, err := cfg3.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("semantic change did not change the hash")
+	}
+}
+
+// A scenario written in TOML hashes identically to the same scenario in
+// JSON: the hash is over the decoded config, not the bytes.
+func TestTOMLAndJSONHashIdentically(t *testing.T) {
+	const asTOML = `
+Format = 1
+Name = "codec-parity"
+Version = 2
+Hours = 6
+
+[Population]
+InventorySize = 10_000
+CompromisedTotal = 500
+ConsumerCompromisedShare = 0.5
+Day1Fraction = 0.1
+DayActiveProb = 0.5
+HourDutyMin = 0.2
+HourDutyMax = 0.6
+RateSpreadSigma = 1.0
+ConsumerCountryShares = [{ Code = "RU", Share = 60 }, { Code = "US", Share = 40 }]
+CPSCountryShares = [{ Code = "CN", Share = 100 }]
+ConsumerTypeShares = [{ Type = 1, Weight = 100 }]
+
+[[Actors]]
+Kind = "stealth-scan"
+
+[Actors.Params]
+Scanners = 50
+Port = 8291
+PacketsPerHour = 2
+`
+	tomlCfg, err := DecodeConfig([]byte(asTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes, err := tomlCfg.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonCfg, err := DecodeConfig(jsonBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := tomlCfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := jsonCfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht != hj {
+		t.Fatalf("TOML and JSON forms hash differently: %s vs %s", ht, hj)
+	}
+}
+
+func TestDecodeConfigFaults(t *testing.T) {
+	valid, err := testConfig().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func() []byte
+		wantSub string
+	}{
+		{
+			"unknown top-level field",
+			func() []byte {
+				return []byte(strings.Replace(string(valid), `"Hours"`, `"Bogus"`, 1))
+			},
+			"Bogus",
+		},
+		{
+			"unknown params field",
+			func() []byte {
+				return []byte(strings.Replace(string(valid), `"Scanners"`, `"Scannerz"`, 1))
+			},
+			"Scannerz",
+		},
+		{
+			"future format version",
+			func() []byte {
+				return []byte(strings.Replace(string(valid), `"Format": 1`, `"Format": 99`, 1))
+			},
+			"unsupported scenario format 99",
+		},
+		{
+			"unknown actor kind",
+			func() []byte {
+				return []byte(strings.Replace(string(valid), `"Kind": "stealth-scan"`, `"Kind": "warp-drive"`, 1))
+			},
+			"warp-drive",
+		},
+		{
+			"trailing data",
+			func() []byte { return append(append([]byte{}, valid...), []byte(`{"again": true}`)...) },
+			"after top-level value",
+		},
+		{
+			"truncated",
+			func() []byte { return valid[:len(valid)/2] },
+			"",
+		},
+		{
+			"empty",
+			func() []byte { return nil },
+			"",
+		},
+		{
+			"toml syntax error",
+			func() []byte { return []byte("Format = 1\nName =\n") },
+			"line 2",
+		},
+		{
+			"toml duplicate key",
+			func() []byte { return []byte("Format = 1\nName = \"a\"\nName = \"b\"\n") },
+			"duplicate key",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeConfig(tc.mutate())
+			if err == nil {
+				t.Fatal("corrupt config accepted")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// Validation failures carry ErrBadScenario and a field path.
+func TestValidateFieldPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Config)
+		wantPath string
+	}{
+		{"bad name", func(c *Config) { c.Name = "Bad Name!" }, "Name"},
+		{"bad version", func(c *Config) { c.Version = 0 }, "Version"},
+		{"bad hours", func(c *Config) { c.Hours = 0 }, "Hours"},
+		{"bad population", func(c *Config) { c.Population.InventorySize = 0 }, "Population.InventorySize"},
+		{"duplicate kind", func(c *Config) {
+			c.Actors = append(c.Actors, ActorBlock{Kind: KindBackground, Params: &BackgroundConfig{HourlyPackets: 1, Sources: 1}})
+		}, "Actors[7]"},
+		{"bad block field", func(c *Config) {
+			c.Actors[6].Params.(*StealthScanConfig).Port = 0
+		}, "Actors[6].Params.Port"},
+		{"bad telescope", func(c *Config) { c.Telescope.PrefixBits = 2 }, "Telescope.PrefixBits"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			tc.mutate(cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !errors.Is(err, ErrBadScenario) {
+				t.Fatalf("error %q does not wrap ErrBadScenario", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantPath) {
+				t.Fatalf("error %q does not carry field path %q", err, tc.wantPath)
+			}
+		})
+	}
+}
+
+// Every registered kind is constructible, self-describing, and versioned.
+func TestKindRegistry(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 11 {
+		t.Fatalf("expected 11 registered kinds, got %d: %v", len(kinds), kinds)
+	}
+	for _, spec := range kinds {
+		got, ok := LookupKind(spec.Kind)
+		if !ok {
+			t.Fatalf("Kinds() lists %q but LookupKind misses it", spec.Kind)
+		}
+		if got.Version < 1 {
+			t.Errorf("kind %q has no version", spec.Kind)
+		}
+		if got.About == "" {
+			t.Errorf("kind %q has no description", spec.Kind)
+		}
+		blk := got.New()
+		if blk.Kind() != spec.Kind {
+			t.Errorf("kind %q constructs a block reporting kind %q", spec.Kind, blk.Kind())
+		}
+	}
+	ver := GeneratorVersions(testConfig())
+	if len(ver) != 7 {
+		t.Fatalf("GeneratorVersions: expected 7 kinds, got %v", ver)
+	}
+	if ver[KindStealthScan] != 1 {
+		t.Fatalf("stealth-scan generator version = %d", ver[KindStealthScan])
+	}
+}
+
+// FuzzScenarioDecode: no input may panic the decoder, and any input that
+// decodes must re-encode canonically to an equal config with a stable hash.
+func FuzzScenarioDecode(f *testing.F) {
+	if seed, err := testConfig().CanonicalJSON(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"Format":1}`))
+	f.Add([]byte("Format = 1\nName = \"x\"\n"))
+	f.Add([]byte("[[Actors]]\nKind = \"tcp-scan\"\n"))
+	f.Add([]byte(`{"Format":1,"Name":"a","Version":1,"Hours":1}`))
+	f.Add([]byte("not a config at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := DecodeConfig(data)
+		if err != nil {
+			return
+		}
+		h1, err := cfg.Hash()
+		if err != nil {
+			t.Fatalf("decoded config does not hash: %v", err)
+		}
+		canon, err := cfg.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("decoded config does not re-encode: %v", err)
+		}
+		back, err := DecodeConfig(canon)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash not stable across canonical round trip: %s vs %s", h1, h2)
+		}
+	})
+}

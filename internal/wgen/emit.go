@@ -25,6 +25,7 @@ func (g *Generator) EmitHour(hour int, emit func(flowtuple.Record)) error {
 		g.emitActorHour(a, hour, dark, emit)
 	}
 	g.emitBackground(hour, dark, emit)
+	g.emitDiurnal(hour, dark, emit)
 	return nil
 }
 
@@ -64,6 +65,11 @@ func (g *Generator) emitActorHour(a *actor, hour int, dark netx.Prefix, outerEmi
 		if v := a.victim.schedule[hour]; v > 0 {
 			g.emitBackscatter(a, v, dark, r, emit)
 		}
+	}
+	// Extension behaviours (mirai-wave, stealth-scan, ...) carry their own
+	// active windows and, like scripted events, ignore the duty cycle.
+	if a.ext != nil {
+		g.emitExt(a, hour, dark, r, emit)
 	}
 
 	if hour < a.onset {
@@ -246,7 +252,10 @@ func (g *Generator) emitUDP(a *actor, ttl uint8, dark netx.Prefix,
 		n := r.Poisson(a.udpTail * a.rateMult * burst)
 		for n > 0 {
 			pkts := 1
-			if a.dev.Category == devicedb.CPS {
+			// CPSPacketsPerDest is zero when the scenario carries no
+			// udp-probe block; trickle devices then send one packet per
+			// destination instead of a burst.
+			if a.dev.Category == devicedb.CPS && cfg.CPSPacketsPerDest > 0 {
 				pkts = 1 + r.Intn(2*cfg.CPSPacketsPerDest)
 				if pkts > n {
 					pkts = n

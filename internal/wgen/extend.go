@@ -1,0 +1,365 @@
+package wgen
+
+import (
+	"fmt"
+	"math"
+
+	"iotscope/internal/devicedb"
+	"iotscope/internal/flowtuple"
+	"iotscope/internal/netx"
+	"iotscope/internal/rng"
+)
+
+// extBehaviour is the behaviour record for an extension-kind actor: a
+// bounded active window and a per-hour emission model selected by kind.
+// Extension actors bypass the two-level duty cycle the way scripted events
+// do — their temporal shape IS the behaviour under test.
+type extBehaviour struct {
+	kind string
+	// [from, to) is the active window in capture hours.
+	from int
+	to   int
+	// rate is the mean packets per active hour for this device.
+	rate float64
+	// ports: scanned ports for mirai-wave (first dominates) and the single
+	// stealth-scan port.
+	ports []uint16
+	// svcPorts/svcCum: service port choices with cumulative probabilities
+	// for udp-amplification and cps-campaign.
+	svcPorts []uint16
+	svcCum   []float64
+	// minLen/maxLen bound amplification payload sizes.
+	minLen int
+	maxLen int
+}
+
+// applyExtensions enrolls the extension-kind cohorts. It runs after the
+// baseline population is fully built and draws only freshly-labelled rng
+// streams, so scenarios without extension blocks — the paper default —
+// are bit-for-bit unaffected.
+func (g *Generator) applyExtensions() error {
+	sc := g.sc
+	if c := sc.MiraiWave; c != nil {
+		if err := g.applyMiraiWave(c); err != nil {
+			return err
+		}
+	}
+	if c := sc.UDPAmplification; c != nil {
+		if err := g.applyUDPAmplification(c); err != nil {
+			return err
+		}
+	}
+	if c := sc.StealthScan; c != nil {
+		if err := g.applyStealthScan(c); err != nil {
+			return err
+		}
+	}
+	if c := sc.CPSCampaign; c != nil {
+		if err := g.applyCPSCampaign(c); err != nil {
+			return err
+		}
+	}
+	if c := sc.DiurnalBackground; c != nil {
+		g.buildDiurnalPool(c)
+	}
+	return nil
+}
+
+// extPool draws n not-yet-compromised devices of the category,
+// deterministically from the kind's own stream.
+func (g *Generator) extPool(kind string, cat devicedb.Category, n int) ([]int, error) {
+	var free []int
+	for i, d := range g.inv.All() {
+		if d.Category == cat && g.byID[i] == nil {
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return nil, fmt.Errorf("wgen: %s: no %s devices left to enroll", kind, cat)
+	}
+	shuffleInts(g.root.Derive("ext-pool", kind), free)
+	if n > len(free) {
+		n = len(free)
+	}
+	return free[:n], nil
+}
+
+// addExtActor enrolls one device with an extension behaviour, recording it
+// in the kind's cohort. Duty parameters are pinned to 1 so the actor's
+// ActivityWeight is representative and nothing in the regular emission
+// path fires (it has no baseline rates).
+func (g *Generator) addExtActor(id int, ext *extBehaviour) {
+	a := &actor{
+		id:       id,
+		dev:      g.inv.At(id),
+		onset:    ext.from,
+		dayProb:  1,
+		hourDuty: 1,
+		rateMult: 1,
+		ext:      ext,
+	}
+	g.actors = append(g.actors, a)
+	g.byID[id] = a
+	if g.truth.Cohorts == nil {
+		g.truth.Cohorts = make(map[string][]int)
+	}
+	g.truth.Cohorts[ext.kind] = append(g.truth.Cohorts[ext.kind], id)
+}
+
+// applyMiraiWave plants the propagation wave: consumer devices are
+// infected along a logistic ramp and scan for a bounded lifetime.
+func (g *Generator) applyMiraiWave(c *MiraiWaveConfig) error {
+	n := scaleCount(c.Devices, g.sc.Scale)
+	pool, err := g.extPool(KindMiraiWave, devicedb.Consumer, n)
+	if err != nil {
+		return err
+	}
+	r := g.root.Derive("ext", KindMiraiWave)
+	// Steepness 8/RampHours puts ~96 % of infections inside the ramp.
+	k := 8.0 / float64(c.RampHours)
+	mid := float64(c.StartHour) + float64(c.RampHours)/2
+	for i, id := range pool {
+		// Quantile of the logistic CDF, jittered so infection times do not
+		// land on a lattice.
+		u := (float64(i) + 0.5) / float64(len(pool))
+		t := mid + math.Log(u/(1-u))/k + r.Float64() - 0.5
+		infect := int(math.Round(t))
+		if infect < c.StartHour {
+			infect = c.StartHour
+		}
+		if infect >= g.sc.Hours {
+			// Infected after the capture window closes: invisible, skip.
+			continue
+		}
+		life := c.LifetimeMinHours + r.Intn(c.LifetimeMaxHours-c.LifetimeMinHours+1)
+		to := infect + life
+		if to > g.sc.Hours {
+			to = g.sc.Hours
+		}
+		g.addExtActor(id, &extBehaviour{
+			kind:  KindMiraiWave,
+			from:  infect,
+			to:    to,
+			rate:  c.PacketsPerHour,
+			ports: c.Ports,
+		})
+	}
+	if len(g.truth.Cohorts[KindMiraiWave]) == 0 {
+		return fmt.Errorf("wgen: %s: every infection fell outside the %d-hour window", KindMiraiWave, g.sc.Hours)
+	}
+	return nil
+}
+
+// applyUDPAmplification enrolls the reflector cohort: always-on consumer
+// devices answering on well-known service source ports.
+func (g *Generator) applyUDPAmplification(c *UDPAmplificationConfig) error {
+	n := scaleCount(c.Reflectors, g.sc.Scale)
+	pool, err := g.extPool(KindUDPAmplification, devicedb.Consumer, n)
+	if err != nil {
+		return err
+	}
+	ports, cum := serviceTable(len(c.Services), func(i int) (uint16, float64) {
+		return c.Services[i].Port, c.Services[i].Share
+	})
+	rate := c.HourlyPackets * g.sc.Scale / float64(len(pool))
+	r := g.root.Derive("ext", KindUDPAmplification)
+	for _, id := range pool {
+		// Reflectors come under fire at staggered points of day one.
+		from := r.Intn(minInt(24, g.sc.Hours))
+		g.addExtActor(id, &extBehaviour{
+			kind:     KindUDPAmplification,
+			from:     from,
+			to:       g.sc.Hours,
+			rate:     rate,
+			svcPorts: ports,
+			svcCum:   cum,
+			minLen:   c.MinLen,
+			maxLen:   c.MaxLen,
+		})
+	}
+	return nil
+}
+
+// applyStealthScan enrolls the slow scanners.
+func (g *Generator) applyStealthScan(c *StealthScanConfig) error {
+	n := scaleCount(c.Scanners, g.sc.Scale)
+	pool, err := g.extPool(KindStealthScan, devicedb.Consumer, n)
+	if err != nil {
+		return err
+	}
+	r := g.root.Derive("ext", KindStealthScan)
+	for _, id := range pool {
+		from := r.Intn(minInt(24, g.sc.Hours))
+		g.addExtActor(id, &extBehaviour{
+			kind:  KindStealthScan,
+			from:  from,
+			to:    g.sc.Hours,
+			rate:  c.PacketsPerHour,
+			ports: []uint16{c.Port},
+		})
+	}
+	return nil
+}
+
+// applyCPSCampaign enrolls CPS devices into the windowed industrial
+// campaign.
+func (g *Generator) applyCPSCampaign(c *CPSCampaignConfig) error {
+	if c.StartHour >= g.sc.Hours {
+		return fmt.Errorf("wgen: %s: StartHour %d outside the %d-hour window", KindCPSCampaign, c.StartHour, g.sc.Hours)
+	}
+	n := scaleCount(c.Devices, g.sc.Scale)
+	pool, err := g.extPool(KindCPSCampaign, devicedb.CPS, n)
+	if err != nil {
+		return err
+	}
+	to := g.sc.Hours
+	if c.DurationHours > 0 && c.StartHour+c.DurationHours < to {
+		to = c.StartHour + c.DurationHours
+	}
+	ports, cum := serviceTable(len(c.Services), func(i int) (uint16, float64) {
+		return c.Services[i].Port, c.Services[i].Share
+	})
+	rate := c.HourlyPackets * g.sc.Scale / float64(len(pool))
+	for _, id := range pool {
+		g.addExtActor(id, &extBehaviour{
+			kind:     KindCPSCampaign,
+			from:     c.StartHour,
+			to:       to,
+			rate:     rate,
+			svcPorts: ports,
+			svcCum:   cum,
+		})
+	}
+	return nil
+}
+
+// serviceTable builds the (port, cumulative probability) lookup for
+// share-weighted service draws.
+func serviceTable(n int, at func(i int) (uint16, float64)) ([]uint16, []float64) {
+	ports := make([]uint16, n)
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		var share float64
+		ports[i], share = at(i)
+		total += share
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return ports, cum
+}
+
+func drawService(r *rng.Source, ports []uint16, cum []float64) uint16 {
+	u := r.Float64()
+	for i, c := range cum {
+		if u <= c {
+			return ports[i]
+		}
+	}
+	return ports[len(ports)-1]
+}
+
+// emitExt renders one extension actor's traffic for the hour. It shares
+// the actor-hour stream with the rest of emitActorHour, which is safe:
+// extension actors never existed in scenarios without extension blocks, so
+// no pre-existing stream is perturbed.
+func (g *Generator) emitExt(a *actor, hour int, dark netx.Prefix,
+	r *rng.Source, emit func(flowtuple.Record)) {
+
+	ext := a.ext
+	if hour < ext.from || hour >= ext.to {
+		return
+	}
+	switch ext.kind {
+	case KindMiraiWave, KindStealthScan:
+		ttl := uint8(34 + r.Intn(94))
+		g.emitSYNs(a, r.Poisson(ext.rate), ext.ports, ttl, dark, r, emit)
+	case KindCPSCampaign:
+		ttl := uint8(40 + r.Intn(60))
+		n := r.Poisson(ext.rate)
+		for i := 0; i < n; i++ {
+			emit(flowtuple.Record{
+				SrcIP:    uint32(a.dev.IP),
+				DstIP:    uint32(randDark(dark, r)),
+				SrcPort:  ephemeralPort(r),
+				DstPort:  drawService(r, ext.svcPorts, ext.svcCum),
+				Protocol: flowtuple.ProtoTCP,
+				TCPFlags: flowtuple.FlagSYN,
+				TTL:      ttl,
+				IPLen:    uint16(40 + r.Intn(20)),
+				Packets:  1,
+			})
+		}
+	case KindUDPAmplification:
+		ttl := uint8(40 + r.Intn(80))
+		n := r.Poisson(ext.rate)
+		for n > 0 {
+			chunk := uint32(1 + r.Intn(3))
+			if uint32(n) < chunk {
+				chunk = uint32(n)
+			}
+			emit(flowtuple.Record{
+				SrcIP:    uint32(a.dev.IP),
+				DstIP:    uint32(randDark(dark, r)),
+				SrcPort:  drawService(r, ext.svcPorts, ext.svcCum),
+				DstPort:  ephemeralPort(r),
+				Protocol: flowtuple.ProtoUDP,
+				TTL:      ttl,
+				IPLen:    uint16(ext.minLen + r.Intn(ext.maxLen-ext.minLen+1)),
+				Packets:  chunk,
+			})
+			n -= int(chunk)
+		}
+	}
+}
+
+// buildDiurnalPool pre-draws the smart-home source population — outside
+// the inventory, like the flat background pool, but emitted with a
+// day/night cycle.
+func (g *Generator) buildDiurnalPool(c *DiurnalBackgroundConfig) {
+	r := g.root.Derive("ext", KindDiurnalBackground, "pool")
+	n := scaleCount(c.Sources, g.sc.Scale)
+	g.diurnalPool = make([]uint32, 0, n)
+	nISPs := len(g.reg.ISPs)
+	for len(g.diurnalPool) < n {
+		a := g.reg.RandomAddr(r, r.Intn(nISPs))
+		if _, inInv := g.inv.LookupIP(a); inInv {
+			continue
+		}
+		g.diurnalPool = append(g.diurnalPool, uint32(a))
+	}
+}
+
+// diurnalFactor is the day/night volume modulation: 1 at PeakHour, falling
+// on a cosine to MinFactor twelve hours away.
+func diurnalFactor(c *DiurnalBackgroundConfig, hour int) float64 {
+	phase := 2 * math.Pi * float64(hour%24-c.PeakHour) / 24
+	return c.MinFactor + (1-c.MinFactor)*(0.5*(1+math.Cos(phase)))
+}
+
+// emitDiurnal renders one hour of smart-home discovery chatter: short UDP
+// datagrams to mDNS/SSDP-style ports from non-inventory sources. The
+// correlator must discard all of it, at every point of the cycle.
+func (g *Generator) emitDiurnal(hour int, dark netx.Prefix, emit func(flowtuple.Record)) {
+	c := g.sc.DiurnalBackground
+	if c == nil || len(g.diurnalPool) == 0 {
+		return
+	}
+	r := g.root.DeriveN("ext-diurnal-hour", uint64(hour))
+	mean := c.HourlyPackets * g.sc.Scale * diurnalFactor(c, hour)
+	n := r.Poisson(mean)
+	for i := 0; i < n; i++ {
+		emit(flowtuple.Record{
+			SrcIP:    g.diurnalPool[r.Intn(len(g.diurnalPool))],
+			DstIP:    uint32(randDark(dark, r)),
+			SrcPort:  ephemeralPort(r),
+			DstPort:  c.Ports[r.Intn(len(c.Ports))],
+			Protocol: flowtuple.ProtoUDP,
+			TTL:      uint8(30 + r.Intn(100)),
+			IPLen:    uint16(60 + r.Intn(240)),
+			Packets:  1,
+		})
+	}
+}

@@ -20,6 +20,10 @@ type GroundTruth struct {
 	ICMPScanners []int
 	OnsetHour    map[int]int
 	EventVictims map[string]int // DoS event name -> device ID
+	// Cohorts maps each extension actor kind (mirai-wave, stealth-scan,
+	// ...) to its enrolled device IDs, ascending — the truth surface the
+	// scenario-library e2e fixtures assert against.
+	Cohorts map[string][]int
 	// ActivityWeight is each device's relative traffic intensity, used by
 	// the threat-intelligence and malware-database generators to bias
 	// flags toward loud devices the way real intel sources do.
@@ -33,12 +37,13 @@ type Generator struct {
 	reg *geo.Registry
 	inv *devicedb.Inventory
 
-	actors  []*actor
-	byID    map[int]*actor
-	bgPool  []uint32 // background source addresses (non-inventory)
-	truth   GroundTruth
-	root    *rng.Source
-	haveGen bool
+	actors      []*actor
+	byID        map[int]*actor
+	bgPool      []uint32 // background source addresses (non-inventory)
+	diurnalPool []uint32 // smart-home diurnal sources (non-inventory)
+	truth       GroundTruth
+	root        *rng.Source
+	haveGen     bool
 }
 
 // actor is one compromised device with its assigned behaviours.
@@ -57,6 +62,7 @@ type actor struct {
 	otherRate float64
 	victim    *victimState
 	scripted  []scriptedEvent
+	ext       *extBehaviour
 }
 
 type svcMembership struct {
@@ -131,6 +137,11 @@ func New(sc Scenario) (*Generator, error) {
 	g.assignVictims(g.root.Derive("victims"))
 	g.ensureAllEmit()
 	g.buildBackgroundPool()
+	// Extension cohorts join last, from freshly-labelled streams, so the
+	// baseline population above is identical with or without them.
+	if err := g.applyExtensions(); err != nil {
+		return nil, err
+	}
 	g.finalizeTruth()
 	g.haveGen = true
 	return g, nil
@@ -989,6 +1000,9 @@ func (g *Generator) finalizeTruth() {
 	sort.Ints(t.TCPScanners)
 	sort.Ints(t.UDPProbers)
 	sort.Ints(t.ICMPScanners)
+	for _, ids := range t.Cohorts {
+		sort.Ints(ids)
+	}
 }
 
 // expectedHourlyPackets returns a rough expectation of total IoT packets

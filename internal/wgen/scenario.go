@@ -201,6 +201,16 @@ type Scenario struct {
 	Backscatter BackscatterConfig
 	Other       OtherTrafficConfig
 	Background  BackgroundConfig
+
+	// Extension actor kinds (blocks.go), nil when absent. They are
+	// pointers, and every code path they drive derives fresh rng labels, so
+	// scenarios without them — the paper default above all — generate
+	// byte-identical output to builds that predate the blocks.
+	MiraiWave         *MiraiWaveConfig
+	UDPAmplification  *UDPAmplificationConfig
+	StealthScan       *StealthScanConfig
+	CPSCampaign       *CPSCampaignConfig
+	DiurnalBackground *DiurnalBackgroundConfig
 }
 
 // DarkPrefix returns the telescope space of the scenario.

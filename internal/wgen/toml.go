@@ -1,0 +1,396 @@
+package wgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseTOML reads the TOML subset scenario files may use — tables,
+// arrays of tables, dotted keys, strings, integers, floats, booleans,
+// (multi-line) arrays, and inline tables — into the same generic tree a
+// JSON decode would produce, so both formats share one typed schema. It is
+// a deliberate subset: no dates, no multi-line or literal strings, no
+// exotic escapes. Scenario files do not need them, and a second full
+// config-language dependency is not worth carrying for the ones that
+// would.
+func parseTOML(data []byte) (map[string]any, error) {
+	p := &tomlParser{data: data, line: 1}
+	root := map[string]any{}
+	current := root
+	for {
+		p.skipSpaceAndComments(true)
+		if p.done() {
+			return root, nil
+		}
+		if p.peek() == '[' {
+			tbl, err := p.header(root)
+			if err != nil {
+				return nil, err
+			}
+			current = tbl
+			continue
+		}
+		if err := p.assignment(current); err != nil {
+			return nil, err
+		}
+	}
+}
+
+type tomlParser struct {
+	data []byte
+	pos  int
+	line int
+}
+
+func (p *tomlParser) done() bool  { return p.pos >= len(p.data) }
+func (p *tomlParser) peek() byte  { return p.data[p.pos] }
+func (p *tomlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("toml line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// skipSpaceAndComments advances over spaces, tabs, comments, and — when
+// newlines is true — line breaks.
+func (p *tomlParser) skipSpaceAndComments(newlines bool) {
+	for !p.done() {
+		switch c := p.peek(); {
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '\n':
+			if !newlines {
+				return
+			}
+			p.pos++
+			p.line++
+		case c == '#':
+			for !p.done() && p.peek() != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// header parses [path] and [[path]] lines, returning the table that
+// subsequent assignments land in.
+func (p *tomlParser) header(root map[string]any) (map[string]any, error) {
+	p.pos++ // consume '['
+	array := false
+	if !p.done() && p.peek() == '[' {
+		array = true
+		p.pos++
+	}
+	path, err := p.keyPath()
+	if err != nil {
+		return nil, err
+	}
+	if p.done() || p.peek() != ']' {
+		return nil, p.errf("unterminated table header")
+	}
+	p.pos++
+	if array {
+		if p.done() || p.peek() != ']' {
+			return nil, p.errf("unterminated array-of-tables header")
+		}
+		p.pos++
+	}
+	parent := root
+	for _, seg := range path[:len(path)-1] {
+		next, err := p.descend(parent, seg)
+		if err != nil {
+			return nil, err
+		}
+		parent = next
+	}
+	last := path[len(path)-1]
+	if array {
+		list, _ := parent[last].([]any)
+		if parent[last] != nil && list == nil {
+			return nil, p.errf("key %q is not an array of tables", last)
+		}
+		tbl := map[string]any{}
+		parent[last] = append(list, any(tbl))
+		return tbl, nil
+	}
+	switch v := parent[last].(type) {
+	case nil:
+		tbl := map[string]any{}
+		parent[last] = tbl
+		return tbl, nil
+	case map[string]any:
+		return v, nil
+	default:
+		return nil, p.errf("table %q conflicts with an existing value", last)
+	}
+}
+
+// descend resolves one intermediate path segment, creating tables as
+// needed and entering the last element of arrays of tables.
+func (p *tomlParser) descend(parent map[string]any, seg string) (map[string]any, error) {
+	switch v := parent[seg].(type) {
+	case nil:
+		tbl := map[string]any{}
+		parent[seg] = tbl
+		return tbl, nil
+	case map[string]any:
+		return v, nil
+	case []any:
+		if len(v) == 0 {
+			return nil, p.errf("array of tables %q is empty", seg)
+		}
+		tbl, ok := v[len(v)-1].(map[string]any)
+		if !ok {
+			return nil, p.errf("array %q does not hold tables", seg)
+		}
+		return tbl, nil
+	default:
+		return nil, p.errf("key %q is not a table", seg)
+	}
+}
+
+// assignment parses one `key = value` line into tbl.
+func (p *tomlParser) assignment(tbl map[string]any) error {
+	path, err := p.keyPath()
+	if err != nil {
+		return err
+	}
+	p.skipSpaceAndComments(false)
+	if p.done() || p.peek() != '=' {
+		return p.errf("expected '=' after key %q", strings.Join(path, "."))
+	}
+	p.pos++
+	p.skipSpaceAndComments(false)
+	val, err := p.value()
+	if err != nil {
+		return err
+	}
+	for _, seg := range path[:len(path)-1] {
+		next, err := p.descend(tbl, seg)
+		if err != nil {
+			return err
+		}
+		tbl = next
+	}
+	last := path[len(path)-1]
+	if _, dup := tbl[last]; dup {
+		return p.errf("duplicate key %q", last)
+	}
+	tbl[last] = val
+	// Only spaces and a comment may follow the value on the line.
+	p.skipSpaceAndComments(false)
+	if !p.done() && p.peek() != '\n' {
+		return p.errf("unexpected trailing characters after value for %q", last)
+	}
+	return nil
+}
+
+// keyPath parses a (possibly dotted, possibly quoted) key.
+func (p *tomlParser) keyPath() ([]string, error) {
+	var path []string
+	for {
+		p.skipSpaceAndComments(false)
+		if p.done() {
+			return nil, p.errf("unexpected end of input in key")
+		}
+		var seg string
+		if p.peek() == '"' {
+			s, err := p.basicString()
+			if err != nil {
+				return nil, err
+			}
+			seg = s
+		} else {
+			start := p.pos
+			for !p.done() && isBareKeyChar(p.peek()) {
+				p.pos++
+			}
+			if p.pos == start {
+				return nil, p.errf("expected a key, found %q", string(p.peek()))
+			}
+			seg = string(p.data[start:p.pos])
+		}
+		path = append(path, seg)
+		p.skipSpaceAndComments(false)
+		if !p.done() && p.peek() == '.' {
+			p.pos++
+			continue
+		}
+		return path, nil
+	}
+}
+
+func isBareKeyChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// value parses one TOML value.
+func (p *tomlParser) value() (any, error) {
+	if p.done() {
+		return nil, p.errf("expected a value")
+	}
+	switch c := p.peek(); {
+	case c == '"':
+		return p.basicString()
+	case c == '[':
+		return p.array()
+	case c == '{':
+		return p.inlineTable()
+	default:
+		return p.scalar()
+	}
+}
+
+func (p *tomlParser) basicString() (string, error) {
+	p.pos++ // consume opening quote
+	var b strings.Builder
+	for !p.done() {
+		c := p.peek()
+		p.pos++
+		switch c {
+		case '"':
+			return b.String(), nil
+		case '\n':
+			return "", p.errf("newline inside string")
+		case '\\':
+			if p.done() {
+				return "", p.errf("dangling escape")
+			}
+			e := p.peek()
+			p.pos++
+			switch e {
+			case '"', '\\', '/':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				return "", p.errf("unsupported escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+// array parses [v, v, ...]; newlines and comments are allowed inside.
+func (p *tomlParser) array() (any, error) {
+	p.pos++ // consume '['
+	out := []any{}
+	for {
+		p.skipSpaceAndComments(true)
+		if p.done() {
+			return nil, p.errf("unterminated array")
+		}
+		if p.peek() == ']' {
+			p.pos++
+			return out, nil
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.skipSpaceAndComments(true)
+		if p.done() {
+			return nil, p.errf("unterminated array")
+		}
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ']':
+		default:
+			return nil, p.errf("expected ',' or ']' in array")
+		}
+	}
+}
+
+// inlineTable parses {k = v, ...}.
+func (p *tomlParser) inlineTable() (any, error) {
+	p.pos++ // consume '{'
+	tbl := map[string]any{}
+	p.skipSpaceAndComments(true)
+	if !p.done() && p.peek() == '}' {
+		p.pos++
+		return tbl, nil
+	}
+	for {
+		p.skipSpaceAndComments(true)
+		path, err := p.keyPath()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpaceAndComments(false)
+		if p.done() || p.peek() != '=' {
+			return nil, p.errf("expected '=' in inline table")
+		}
+		p.pos++
+		p.skipSpaceAndComments(false)
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		target := tbl
+		for _, seg := range path[:len(path)-1] {
+			next, err := p.descend(target, seg)
+			if err != nil {
+				return nil, err
+			}
+			target = next
+		}
+		last := path[len(path)-1]
+		if _, dup := target[last]; dup {
+			return nil, p.errf("duplicate key %q", last)
+		}
+		target[last] = v
+		p.skipSpaceAndComments(true)
+		if p.done() {
+			return nil, p.errf("unterminated inline table")
+		}
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return tbl, nil
+		default:
+			return nil, p.errf("expected ',' or '}' in inline table")
+		}
+	}
+}
+
+// scalar parses booleans and numbers.
+func (p *tomlParser) scalar() (any, error) {
+	start := p.pos
+	for !p.done() {
+		c := p.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+			c == ',' || c == ']' || c == '}' || c == '#' {
+			break
+		}
+		p.pos++
+	}
+	tok := string(p.data[start:p.pos])
+	switch tok {
+	case "":
+		return nil, p.errf("expected a value")
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	// TOML permits underscores as digit separators.
+	numTok := strings.ReplaceAll(tok, "_", "")
+	if i, err := strconv.ParseInt(numTok, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(numTok, 64); err == nil {
+		return f, nil
+	}
+	return nil, p.errf("unsupported value %q", tok)
+}
